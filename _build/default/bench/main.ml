@@ -1,0 +1,136 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (section 5) on the simulated Parsytec MC, prints them next to
+   the published values, and runs one Bechamel micro-benchmark per
+   table/figure measuring the wall-clock cost of a representative cell.
+
+   Usage: main.exe [--quick] [--csv DIR]
+                   [table1|table2|figure1|claim51|claim52|ablations|
+                    scaling|bechamel|all]... *)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: wall-clock cost of regenerating one
+   representative cell per table/figure. *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let seed = 1996 in
+  let torus2 = Topology.torus2d ~width:2 ~height:2 () in
+  let mesh2 = Topology.mesh ~width:2 ~height:2 in
+  let sp_cell () =
+    let n = 32 in
+    let weight = Workload.graph_weight ~seed ~n ~max_weight:100 in
+    Experiments.time_of Cost_model.skil torus2 (fun ctx ->
+        Skeletons.destroy ctx (Shortest_paths.run ctx ~n ~weight))
+  in
+  let gauss_cell pivoting () =
+    let n = 32 in
+    let matrix = Workload.gauss_matrix ~seed ~n in
+    Experiments.time_of Cost_model.skil mesh2 (fun ctx ->
+        Skeletons.destroy ctx (Gauss.run ~pivoting ctx ~n ~matrix))
+  in
+  let figure_cell () =
+    (* one gauss cell under both comparators: the unit of work behind every
+       Figure 1 point *)
+    let n = 32 in
+    let matrix = Workload.gauss_matrix ~seed ~n in
+    let s =
+      Experiments.time_of Cost_model.skil mesh2 (fun ctx ->
+          Skeletons.destroy ctx (Gauss.run ctx ~n ~matrix))
+    in
+    let d =
+      Experiments.time_of Cost_model.dpfl mesh2 (fun ctx ->
+          Skeletons.destroy ctx (Gauss.run ctx ~n ~matrix))
+    in
+    d /. s
+  in
+  let matmul_cell () =
+    let n = 32 in
+    let a = Workload.float_matrix ~seed
+    and b = Workload.float_matrix ~seed:7 in
+    Experiments.time_of Cost_model.skil torus2 (fun ctx ->
+        Skeletons.destroy ctx (Matmul.run ctx ~n ~a ~b))
+  in
+  [
+    Test.make ~name:"table1_cell(shpaths-2x2-n32)"
+      (Staged.stage (fun () -> ignore (sp_cell ())));
+    Test.make ~name:"table2_cell(gauss-2x2-n32)"
+      (Staged.stage (fun () -> ignore (gauss_cell Gauss.No_pivot_search ())));
+    Test.make ~name:"figure1_point(gauss-skil+dpfl)"
+      (Staged.stage (fun () -> ignore (figure_cell ())));
+    Test.make ~name:"claim51_cell(matmul-2x2-n32)"
+      (Staged.stage (fun () -> ignore (matmul_cell ())));
+    Test.make ~name:"claim52_cell(gauss-pivoting)"
+      (Staged.stage (fun () -> ignore (gauss_cell Gauss.Partial ())));
+  ]
+
+let run_bechamel () =
+  print_endline "== Bechamel: wall-clock cost of one simulation per cell ==";
+  let open Bechamel in
+  let open Toolkit in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~stabilize:false () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      Hashtbl.iter
+        (fun name raw ->
+          match Analyze.OLS.estimates (Analyze.one ols instance raw) with
+          | Some [ est ] ->
+              Printf.printf "%-40s %10.3f ms/run\n%!" name (est /. 1e6)
+          | Some _ | None -> Printf.printf "%-40s (no estimate)\n%!" name
+          | exception _ -> Printf.printf "%-40s (analysis failed)\n%!" name)
+        results)
+    (List.map (fun t -> Test.make_grouped ~name:"cells" [ t ]) (bechamel_tests ()));
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let rec extract_csv = function
+    | "--csv" :: dir :: rest -> (Some dir, rest)
+    | x :: rest ->
+        let d, r = extract_csv rest in
+        (d, x :: r)
+    | [] -> (None, [])
+  in
+  let csv_dir, args = extract_csv args in
+  let targets = List.filter (fun a -> a <> "--quick") args in
+  let targets = if targets = [] then [ "all" ] else targets in
+  let wants t = List.mem t targets || List.mem "all" targets in
+  let t2_memo = ref None in
+  let table2 () =
+    match !t2_memo with
+    | Some r -> r
+    | None ->
+        let r = Experiments.table2 ~quick () in
+        t2_memo := Some r;
+        r
+  in
+  Printf.printf
+    "Skil reproduction benchmarks (simulated Parsytec MC, T800 mesh)%s\n\n"
+    (if quick then " [quick]" else "");
+  let t1_memo = ref None in
+  let table1 () =
+    match !t1_memo with
+    | Some r -> r
+    | None ->
+        let r = Experiments.table1 ~quick () in
+        t1_memo := Some r;
+        r
+  in
+  if wants "table1" then Report.print_table1 ~quick ();
+  if wants "table2" then Report.print_table2 (table2 ()) ~quick;
+  if wants "figure1" then Report.print_figure1 (table2 ());
+  if wants "claim51" then Report.print_claim51 ~quick ();
+  if wants "claim52" then Report.print_claim52 ~quick ();
+  if wants "ablations" then Report.print_ablations ~quick ();
+  if wants "scaling" then Report.print_scaling ~quick ();
+  (match csv_dir with
+   | Some dir -> Report.write_csvs ~dir (table1 ()) (table2 ())
+   | None -> ());
+  if wants "bechamel" then run_bechamel ()

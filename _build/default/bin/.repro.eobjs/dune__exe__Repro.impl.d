@@ -1,0 +1,1 @@
+bin/repro.ml: Array Experiments Printf Report Sys

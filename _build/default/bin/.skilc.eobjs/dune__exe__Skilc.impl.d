@@ -1,0 +1,1 @@
+bin/skilc.ml: Arg Array Ast Cmd Cmdliner Cost_model Emit_c Format Instantiate Interp Lexer List Machine Parser Printf Spmd Stats String Term Topology Typecheck Value

@@ -1,0 +1,15 @@
+(* repro — regenerate the paper's tables and figures (without the Bechamel
+   micro-benchmarks; see bench/main.exe for those). *)
+
+let () =
+  let quick = Array.exists (( = ) "--quick") Sys.argv in
+  Printf.printf
+    "Skil (HPDC '96) reproduction — simulated Parsytec MC%s\n\n"
+    (if quick then " [quick]" else "");
+  Report.print_table1 ~quick ();
+  let t2 = Experiments.table2 ~quick () in
+  Report.print_table2 t2 ~quick;
+  Report.print_figure1 t2;
+  Report.print_claim51 ~quick ();
+  Report.print_claim52 ~quick ();
+  Report.print_ablations ~quick ()

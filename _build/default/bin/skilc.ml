@@ -1,0 +1,217 @@
+(* skilc — driver for the mini-Skil compiler: type-check, translate by
+   instantiation, emit C, or execute (sequentially or on the simulated
+   parallel machine). *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load path =
+  let program = Parser.parse (read_file path) in
+  let env = Typecheck.check program in
+  (program, env)
+
+let handle_errors f =
+  try f () with
+  | Lexer.Error { line; col; message } ->
+      Printf.eprintf "%d:%d: lexical error: %s\n" line col message;
+      exit 1
+  | Parser.Error { line; col; message } ->
+      Printf.eprintf "%d:%d: syntax error: %s\n" line col message;
+      exit 1
+  | Typecheck.Type_error { line; message } ->
+      Printf.eprintf "line %d: type error: %s\n" line message;
+      exit 1
+  | Instantiate.Unsupported { line; message } ->
+      Printf.eprintf "line %d: not instantiable: %s\n" line message;
+      exit 1
+  | Value.Skil_runtime_error m ->
+      Printf.eprintf "runtime error: %s\n" m;
+      exit 1
+  | Sys_error m ->
+      Printf.eprintf "%s\n" m;
+      exit 1
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.skil")
+
+let entry_arg =
+  Arg.(value & opt string "main" & info [ "entry" ] ~docv:"NAME"
+         ~doc:"Entry function.")
+
+let args_arg =
+  Arg.(value & opt_all int [] & info [ "arg" ] ~docv:"INT"
+         ~doc:"Integer argument for the entry function (repeatable).")
+
+(* ---------------- check ---------------- *)
+
+let check_cmd =
+  let run file =
+    handle_errors (fun () ->
+        let program, _ = load file in
+        let funcs =
+          List.filter_map
+            (function
+              | Ast.TFunc f when f.Ast.f_body <> None -> Some f.Ast.f_name
+              | _ -> None)
+            program
+        in
+        Printf.printf "%s: OK (%d functions: %s)\n" file (List.length funcs)
+          (String.concat ", " funcs))
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Parse and type-check a Skil program.")
+    Term.(const run $ file_arg)
+
+(* ---------------- instantiate ---------------- *)
+
+let instantiate_cmd =
+  let run file entry =
+    handle_errors (fun () ->
+        let program, env = load file in
+        let fo = Instantiate.program env program ~entries:[ entry ] in
+        Printf.printf
+          "instantiated %s from entry %s: %d first-order functions\n" file
+          entry
+          (List.length
+             (List.filter (function Ast.TFunc _ -> true | _ -> false) fo));
+        List.iter
+          (function
+            | Ast.TFunc f ->
+                Printf.printf "  %s %s/%d\n"
+                  (Ast.type_to_string f.Ast.f_ret)
+                  f.Ast.f_name
+                  (List.length f.Ast.f_params)
+            | _ -> ())
+          fo)
+  in
+  Cmd.v
+    (Cmd.info "instantiate"
+       ~doc:
+         "Translate by instantiation and list the generated first-order \
+          monomorphic functions.")
+    Term.(const run $ file_arg $ entry_arg)
+
+(* ---------------- emit-c ---------------- *)
+
+let emit_cmd =
+  let run file entry =
+    handle_errors (fun () ->
+        let program, env = load file in
+        let fo = Instantiate.program env program ~entries:[ entry ] in
+        print_string (Emit_c.program fo))
+  in
+  Cmd.v
+    (Cmd.info "emit-c"
+       ~doc:"Print the message-passing C the compiler back end would emit.")
+    Term.(const run $ file_arg $ entry_arg)
+
+(* ---------------- runtime header ---------------- *)
+
+let runtime_cmd =
+  let run () = print_string Emit_c.runtime_header in
+  Cmd.v
+    (Cmd.info "runtime"
+       ~doc:"Print skil_runtime.h, the interface of the parallel runtime \
+             emitted C programs compile against.")
+    Term.(const run $ const ())
+
+(* ---------------- run (sequential) ---------------- *)
+
+let run_cmd =
+  let run file entry args =
+    handle_errors (fun () ->
+        let program, env = load file in
+        let st = Interp.make ~tyenv:env program in
+        let v =
+          Interp.call st entry (List.map (fun n -> Value.VInt n) args)
+        in
+        print_string (Interp.output st);
+        match v with
+        | Value.VUnit -> ()
+        | v -> Printf.printf "=> %s\n" (Value.describe v))
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Interpret a Skil program sequentially (skeleton calls are \
+          rejected; use run-par).")
+    Term.(const run $ file_arg $ entry_arg $ args_arg)
+
+(* ---------------- run-par ---------------- *)
+
+let profile_conv =
+  let parse = function
+    | "skil" -> Ok Cost_model.skil
+    | "parix-c" -> Ok Cost_model.parix_c
+    | "parix-c-old" -> Ok Cost_model.parix_c_old
+    | "dpfl" -> Ok Cost_model.dpfl
+    | s -> Error (`Msg ("unknown profile " ^ s))
+  in
+  Arg.conv
+    (parse, fun ppf p -> Format.fprintf ppf "%s" p.Cost_model.profile_name)
+
+let run_par_cmd =
+  let run file entry args width height torus profile no_instantiate =
+    handle_errors (fun () ->
+        let program, _ = load file in
+        let topology =
+          if torus then Topology.torus2d ~width ~height ()
+          else Topology.mesh ~width ~height
+        in
+        let r =
+          Spmd.run ~instantiate:(not no_instantiate)
+            ~cost:(Cost_model.make profile) ~topology program ~entry
+            ~args:(List.map (fun n -> Value.VInt n) args)
+        in
+        Array.iteri
+          (fun i o ->
+            if o.Spmd.printed <> "" then
+              Printf.printf "[proc %d] %s\n" i o.Spmd.printed)
+          r.Machine.values;
+        Printf.printf "simulated time: %.4f s (%s, %d processors)\n"
+          r.Machine.time profile.Cost_model.profile_name
+          (Topology.nprocs topology);
+        Format.printf "%a@." Stats.pp_summary r.Machine.stats)
+  in
+  let width =
+    Arg.(value & opt int 2 & info [ "width" ] ~docv:"W"
+           ~doc:"Processor grid width.")
+  in
+  let height =
+    Arg.(value & opt int 2 & info [ "height" ] ~docv:"H"
+           ~doc:"Processor grid height.")
+  in
+  let torus =
+    Arg.(value & flag & info [ "torus" ]
+           ~doc:"Use a torus virtual topology (default: mesh).")
+  in
+  let profile =
+    Arg.(value & opt profile_conv Cost_model.skil & info [ "profile" ]
+           ~docv:"P"
+           ~doc:"Cost profile: skil, parix-c, parix-c-old or dpfl.")
+  in
+  let no_instantiate =
+    Arg.(value & flag & info [ "no-instantiate" ]
+           ~doc:"Interpret the higher-order source directly instead of the \
+                 instantiated first-order program.")
+  in
+  Cmd.v
+    (Cmd.info "run-par"
+       ~doc:"Execute a Skil program on the simulated Parsytec machine.")
+    Term.(const run $ file_arg $ entry_arg $ args_arg $ width $ height
+          $ torus $ profile $ no_instantiate)
+
+let () =
+  let doc = "the Skil compiler (HPDC '96 reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "skilc" ~doc)
+          [
+            check_cmd; instantiate_cmd; emit_cmd; runtime_cmd; run_cmd;
+            run_par_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/gauss_demo.ml: Array Cost_model Experiments Gauss Machine Parix_c Printf Skeletons Topology Workload

@@ -1,0 +1,1 @@
+examples/gauss_demo.mli:

@@ -1,0 +1,1 @@
+examples/image_threshold.ml: Array Darray Machine Par_io Printf Skeletons Topology

@@ -1,0 +1,1 @@
+examples/jacobi_demo.ml: Array Calibration Darray Machine Printf Skeletons Stats Stencil String Topology

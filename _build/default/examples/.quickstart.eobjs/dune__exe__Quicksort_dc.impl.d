@@ -1,0 +1,1 @@
+examples/quicksort_dc.ml: Array Cost_model List Machine Printf String Task_skel Topology Workload

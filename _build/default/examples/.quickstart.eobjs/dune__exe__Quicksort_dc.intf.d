@@ -1,0 +1,1 @@
+examples/quicksort_dc.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Darray Format Machine Printf Skeletons Stats Topology

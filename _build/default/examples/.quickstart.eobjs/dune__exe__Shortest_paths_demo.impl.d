@@ -1,0 +1,1 @@
+examples/shortest_paths_demo.ml: Array Cost_model Experiments List Machine Parix_c Printf Shortest_paths Skeletons Topology Workload

@@ -1,0 +1,1 @@
+examples/skil_lang_demo.ml: Array Ast Emit_c Instantiate Interp List Machine Parser Printf Spmd Sys Topology Typecheck Value

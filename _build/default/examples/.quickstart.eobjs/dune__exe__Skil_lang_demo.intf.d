@@ -1,0 +1,1 @@
+examples/skil_lang_demo.mli:

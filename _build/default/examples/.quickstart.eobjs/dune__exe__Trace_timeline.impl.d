@@ -1,0 +1,1 @@
+examples/trace_timeline.ml: Array Gauss Machine Printf Skeletons Topology Trace Workload

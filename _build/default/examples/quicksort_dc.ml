@@ -1,0 +1,77 @@
+(* Task parallelism: the paper's introductory divide&conquer pattern, here
+   sorting with the distributed d&c skeleton, plus a dynamic processor farm
+   chewing through uneven tasks.
+
+   Run with: dune exec examples/quicksort_dc.exe *)
+
+let () =
+  let topology = Topology.mesh ~width:4 ~height:2 in
+  let input = List.init 64 (fun i -> Workload.hash2 ~seed:3 i 0 mod 1000) in
+  let rec merge a b =
+    match (a, b) with
+    | [], l | l, [] -> l
+    | x :: xs, y :: ys -> if x <= y then x :: merge xs b else y :: merge a ys
+  in
+  let r =
+    Machine.run ~topology (fun ctx ->
+        Task_skel.divide_conquer ctx
+          ~problem_bytes:(fun l -> 4 * List.length l)
+          ~solution_bytes:(fun l -> 4 * List.length l)
+          ~is_trivial:(fun l -> List.length l <= 1)
+          ~solve:(fun l ->
+            Machine.charge ctx Cost_model.Scalar ~ops:1 ~base:10e-6;
+            l)
+          ~divide:(fun l ->
+            let rec split k acc = function
+              | rest when k = 0 -> (List.rev acc, rest)
+              | [] -> (List.rev acc, [])
+              | x :: rest -> split (k - 1) (x :: acc) rest
+            in
+            split (List.length l / 2) [] l)
+          ~combine:(fun a b ->
+            Machine.charge ctx Cost_model.Scalar
+              ~ops:(List.length a + List.length b)
+              ~base:10e-6;
+            merge a b)
+          (if Machine.self ctx = 0 then Some input else None))
+  in
+  (match r.Machine.values.(0) with
+   | Some sorted ->
+       Printf.printf "d&c mergesort over 8 processors: sorted %d values %s\n"
+         (List.length sorted)
+         (if sorted = List.sort compare input then "correctly" else "WRONG");
+       Printf.printf "first ten: %s\n"
+         (String.concat " "
+            (List.filteri (fun i _ -> i < 10) sorted |> List.map string_of_int))
+   | None -> assert false);
+  Printf.printf "simulated time: %.4f s\n\n" r.Machine.time;
+  (* the farm: numerical integration of pi with uneven strip widths *)
+  let strips =
+    List.init 40 (fun i -> (float_of_int i /. 40.0, float_of_int (i + 1) /. 40.0))
+  in
+  let rf =
+    Machine.run ~topology (fun ctx ->
+        Task_skel.farm ctx
+          ~task_bytes:(fun _ -> 16)
+          ~result_bytes:(fun _ -> 8)
+          ~worker:(fun (a, b) ->
+            (* integrate 4/(1+x^2) over [a,b] with a cost proportional to
+               the (deliberately uneven) step count *)
+            let steps = 50 + (int_of_float (a *. 4000.0) mod 400) in
+            Machine.charge ctx Cost_model.Scalar ~ops:steps ~base:5e-6;
+            let hstep = (b -. a) /. float_of_int steps in
+            let s = ref 0.0 in
+            for i = 0 to steps - 1 do
+              let x = a +. ((float_of_int i +. 0.5) *. hstep) in
+              s := !s +. (4.0 /. (1.0 +. (x *. x)) *. hstep)
+            done;
+            !s)
+          (if Machine.self ctx = 0 then Some strips else None))
+  in
+  (match rf.Machine.values.(0) with
+   | Some parts ->
+       Printf.printf "farm: pi ~ %.6f over %d dynamic tasks\n"
+         (List.fold_left ( +. ) 0.0 parts)
+         (List.length parts)
+   | None -> assert false);
+  Printf.printf "simulated time: %.4f s\n" rf.Machine.time

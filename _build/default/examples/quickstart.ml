@@ -1,0 +1,31 @@
+(* Quickstart: create a distributed array on a simulated 2x2 machine, map a
+   function over it, fold a summary — the minimal tour of the skeleton API.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  let topology = Topology.mesh ~width:2 ~height:2 in
+  let result =
+    Machine.run ~topology (fun ctx ->
+        (* array_create: every processor initializes its own partition from
+           the same pure function of the global index *)
+        let a =
+          Skeletons.create ctx ~gsize:[| 8; 8 |] ~distr:Darray.Default
+            (fun ix -> float_of_int ((ix.(0) * 8) + ix.(1)))
+        in
+        (* array_map in situ: x := sqrt x *)
+        Skeletons.map ctx (fun v _ -> sqrt v) a a;
+        (* array_fold: global sum, tree-reduced and broadcast back, so every
+           processor knows the result *)
+        let total = Skeletons.fold ctx ~conv:(fun v _ -> v) ( +. ) a in
+        let mine = Darray.local_count a ~rank:(Machine.self ctx) in
+        (total, mine))
+  in
+  Array.iteri
+    (fun rank (total, mine) ->
+      Printf.printf "processor %d: %d local elements, global sum %.3f\n" rank
+        mine total)
+    result.Machine.values;
+  Printf.printf "simulated time on the T800 machine: %.6f s\n"
+    result.Machine.time;
+  Format.printf "%a@." Stats.pp_summary result.Machine.stats

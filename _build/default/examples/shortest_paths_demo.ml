@@ -1,0 +1,44 @@
+(* The paper's section 4.1 application: all-pairs shortest paths by min/plus
+   matrix powers, run under all three language models of the evaluation.
+
+   Run with: dune exec examples/shortest_paths_demo.exe *)
+
+let () =
+  let q = 4 in
+  let n = Shortest_paths.adjusted_n ~n:48 ~q in
+  let weight = Workload.graph_weight ~seed:7 ~n ~max_weight:50 in
+  let torus = Topology.torus2d ~width:q ~height:q () in
+  Printf.printf "shortest paths: %d nodes on a %dx%d torus\n\n" n q q;
+  (* correctness: the simulated parallel run equals Floyd-Warshall *)
+  let r =
+    Machine.run ~topology:torus (fun ctx ->
+        Shortest_paths.distances ctx ~n ~weight)
+  in
+  let d = r.Machine.values.(0) in
+  let reference = Shortest_paths.floyd_warshall ~n ~weight in
+  Printf.printf "matches Floyd-Warshall: %b\n" (d = reference);
+  Printf.printf "distances from node 0: ";
+  for j = 0 to 7 do
+    Printf.printf "%d " d.(j)
+  done;
+  Printf.printf "...\n\n";
+  (* the three systems of Table 1 *)
+  List.iter
+    (fun (label, profile, topo, hand_written) ->
+      let time =
+        if hand_written then
+          Experiments.time_of profile topo (fun ctx ->
+              ignore (Parix_c.shortest_paths ctx ~n ~weight))
+        else
+          Experiments.time_of profile topo (fun ctx ->
+              Skeletons.destroy ctx (Shortest_paths.run ctx ~n ~weight))
+      in
+      Printf.printf "%-28s %8.3f simulated seconds\n" label time)
+    [
+      ("Skil (skeletons)", Cost_model.skil, torus, false);
+      ("DPFL (functional model)", Cost_model.dpfl, torus, false);
+      ( "Parix-C (old, sync comm)",
+        Cost_model.parix_c_old,
+        Topology.torus2d ~embedding_optimized:false ~width:q ~height:q (),
+        true );
+    ]

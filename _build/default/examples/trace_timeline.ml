@@ -1,0 +1,31 @@
+(* Where does the simulated time go?  Trace one communication-bound and one
+   compute-bound configuration of the Table 2 workload and draw their
+   processor timelines.
+
+   Run with: dune exec examples/trace_timeline.exe *)
+
+let run_traced ~n ~w ~h =
+  let matrix = Workload.gauss_matrix ~seed:5 ~n in
+  Machine.run ~trace:true ~topology:(Topology.mesh ~width:w ~height:h)
+    (fun ctx -> Skeletons.destroy ctx (Gauss.run ctx ~n ~matrix))
+
+let show label r =
+  Printf.printf "%s\n" label;
+  print_string
+    (Trace.timeline r.Machine.trace
+       ~nprocs:(Array.length r.Machine.values)
+       ~makespan:r.Machine.time);
+  Array.iteri
+    (fun p _ ->
+      Printf.printf "p%d busy %.0f%%  " p
+        (100.0
+        *. Trace.busy_fraction r.Machine.trace ~proc:p
+             ~makespan:r.Machine.time))
+    r.Machine.values;
+  Printf.printf "\n\n"
+
+let () =
+  (* compute-bound: a large matrix on few processors *)
+  show "gauss n=96 on 2x1 (compute-bound):" (run_traced ~n:96 ~w:2 ~h:1);
+  (* communication-bound: a small matrix on many processors *)
+  show "gauss n=32 on 8x2 (communication-bound):" (run_traced ~n:32 ~w:8 ~h:2)

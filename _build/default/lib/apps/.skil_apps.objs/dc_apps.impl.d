@@ -1,0 +1,1 @@
+lib/apps/dc_apps.ml: Array Calibration Cost_model Float Machine Option Task_skel

@@ -1,0 +1,1 @@
+lib/apps/dc_apps.mli: Machine

@@ -1,0 +1,1 @@
+lib/apps/gauss.ml: Array Calibration Darray Float Index Machine Skeletons

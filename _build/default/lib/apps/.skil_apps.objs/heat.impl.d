@@ -1,0 +1,1 @@
+lib/apps/heat.ml: Array Calibration Darray Float Skeletons Stencil

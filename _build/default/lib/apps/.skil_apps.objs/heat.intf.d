@@ -1,0 +1,1 @@
+lib/apps/heat.mli: Darray Index Machine

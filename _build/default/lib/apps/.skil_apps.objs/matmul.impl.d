@@ -1,0 +1,1 @@
+lib/apps/matmul.ml: Array Calibration Darray Skeletons

@@ -1,0 +1,1 @@
+lib/apps/shortest_paths.ml: Array Calibration Darray Skeletons

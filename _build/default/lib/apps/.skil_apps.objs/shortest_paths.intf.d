@@ -1,0 +1,1 @@
+lib/apps/shortest_paths.mli: Darray Index Machine

@@ -1,0 +1,90 @@
+let integrate ctx ?(levels = 10) ~f ~lo ~hi () =
+  (* problem: an interval plus its remaining bisection budget *)
+  let simpson (a, b, _) =
+    Machine.charge ctx Cost_model.Scalar ~ops:3 ~base:Calibration.fold_conv_op;
+    let m = 0.5 *. (a +. b) in
+    (b -. a) /. 6.0 *. (f a +. (4.0 *. f m) +. f b)
+  in
+  Task_skel.divide_conquer ctx
+    ~problem_bytes:(fun _ -> 20)
+    ~solution_bytes:(fun _ -> 8)
+    ~is_trivial:(fun (_, _, budget) -> budget = 0)
+    ~solve:simpson
+    ~divide:(fun (a, b, budget) ->
+      let m = 0.5 *. (a +. b) in
+      ((a, m, budget - 1), (m, b, budget - 1)))
+    ~combine:( +. )
+    (if Machine.self ctx = 0 then Some (lo, hi, max 0 levels) else None)
+
+let poly_eval ctx ~coeffs ~x =
+  (* solution: (value of the sub-polynomial at x, x^(number of coeffs)) *)
+  let solve cs =
+    Machine.charge ctx Cost_model.Scalar
+      ~ops:(Array.length cs)
+      ~base:Calibration.fold_conv_op;
+    let v = ref 0.0 and p = ref 1.0 in
+    Array.iter
+      (fun c ->
+        v := !v +. (c *. !p);
+        p := !p *. x)
+      cs;
+    (!v, !p)
+  in
+  let result =
+    Task_skel.divide_conquer ctx
+      ~problem_bytes:(fun cs -> 8 * Array.length cs)
+      ~solution_bytes:(fun _ -> 16)
+      ~is_trivial:(fun cs -> Array.length cs <= 2)
+      ~solve
+      ~divide:(fun cs ->
+        let k = Array.length cs / 2 in
+        (Array.sub cs 0 k, Array.sub cs k (Array.length cs - k)))
+      ~combine:(fun (v1, p1) (v2, p2) -> (v1 +. (p1 *. v2), p1 *. p2))
+      (if Machine.self ctx = 0 then Some coeffs else None)
+  in
+  Option.map fst result
+
+let cmul (ar, ai) (br, bi) = ((ar *. br) -. (ai *. bi), (ar *. bi) +. (ai *. br))
+let cadd (ar, ai) (br, bi) = (ar +. br, ai +. bi)
+let csub (ar, ai) (br, bi) = (ar -. br, ai -. bi)
+
+let twiddle k n =
+  let angle = -2.0 *. Float.pi *. float_of_int k /. float_of_int n in
+  (cos angle, sin angle)
+
+let fft ctx signal =
+  let n = Array.length signal in
+  if n = 0 || n land (n - 1) <> 0 then
+    invalid_arg "Dc_apps.fft: length must be a power of two";
+  let combine evens odds =
+    let m = Array.length evens in
+    let out = Array.make (2 * m) (0.0, 0.0) in
+    for k = 0 to m - 1 do
+      let t = cmul (twiddle k (2 * m)) odds.(k) in
+      out.(k) <- cadd evens.(k) t;
+      out.(k + m) <- csub evens.(k) t
+    done;
+    Machine.charge ctx Cost_model.Scalar ~ops:(2 * m)
+      ~base:Calibration.float_madd_op;
+    out
+  in
+  Task_skel.divide_conquer ctx
+    ~problem_bytes:(fun a -> 16 * Array.length a)
+    ~solution_bytes:(fun a -> 16 * Array.length a)
+    ~is_trivial:(fun a -> Array.length a <= 1)
+    ~solve:(fun a -> a)
+    ~divide:(fun a ->
+      let m = Array.length a / 2 in
+      ( Array.init m (fun i -> a.(2 * i)),
+        Array.init m (fun i -> a.((2 * i) + 1)) ))
+    ~combine
+    (if Machine.self ctx = 0 then Some signal else None)
+
+let dft_reference signal =
+  let n = Array.length signal in
+  Array.init n (fun k ->
+      let acc = ref (0.0, 0.0) in
+      for j = 0 to n - 1 do
+        acc := cadd !acc (cmul signal.(j) (twiddle (k * j) n))
+      done;
+      !acc)

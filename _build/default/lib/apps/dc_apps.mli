@@ -1,0 +1,34 @@
+(** The divide&conquer applications the paper's introduction lists as
+    immediate instantiations of the d&c skeleton ("polynomial evaluation,
+    numerical integration, FFT etc. can be similarly implemented, only by
+    using different customizing argument functions").
+
+    All of these run on {!Task_skel.divide_conquer}: the problem enters on
+    processor 0 and the result returns there ([None] elsewhere). *)
+
+val integrate :
+  Machine.ctx ->
+  ?levels:int ->
+  f:(float -> float) ->
+  lo:float ->
+  hi:float ->
+  unit ->
+  float option
+(** Composite Simpson integration: the interval is bisected [levels] times
+    (default 10) by the d&c skeleton, leaves are Simpson panels, combine is
+    addition. *)
+
+val poly_eval :
+  Machine.ctx -> coeffs:float array -> x:float -> float option
+(** Evaluate [c0 + c1 x + ... + cn x^n] by splitting the coefficient vector:
+    [p(x) = p_lo(x) + x^(len lo) * p_hi(x)].  The combine function carries
+    the power of x alongside the value, so it stays a proper monoid. *)
+
+val fft :
+  Machine.ctx -> (float * float) array -> (float * float) array option
+(** Radix-2 decimation-in-time FFT as d&c: divide into even/odd index
+    subsequences, combine with twiddle factors.  Input length must be a
+    power of two. *)
+
+val dft_reference : (float * float) array -> (float * float) array
+(** Naive O(n^2) DFT (host-level, for tests). *)

@@ -1,0 +1,125 @@
+type pivoting = No_pivot_search | Partial
+
+exception Singular
+
+type elemrec = { value : float; row : int; col : int }
+
+let elemrec_bytes = 12 (* 4-byte float + two 4-byte ints, as in 1996 *)
+
+(* The paper's switch_rows argument function for array_permute_rows. *)
+let switch_rows i j r = if r = i then j else if r = j then i else r
+
+let run ?(pivoting = No_pivot_search) ctx ~n ~matrix =
+  let p = Machine.nprocs ctx in
+  if n < p then invalid_arg "Gauss.run: needs n >= number of processors";
+  let m = n + 1 in
+  let create init =
+    Skeletons.create ctx ~cost:Calibration.fold_conv_op ~gsize:[| n; m |]
+      ~distr:Darray.Default init
+  in
+  let a = create matrix in
+  let b = create (fun _ -> 0.0) in
+  (* p x (n+1): one row per processor, so broadcasting the pivot row reduces
+     to broadcasting a partition (paper section 4.2) *)
+  let piv =
+    Skeletons.create ctx ~cost:Calibration.fold_conv_op ~gsize:[| p; m |]
+      ~distr:Darray.Default (fun _ -> 0.0)
+  in
+  let me = Machine.self ctx in
+  for k = 0 to n - 1 do
+    (match pivoting with
+     | Partial ->
+         (* array_fold with make_elemrec / max_abs_in_col k *)
+         let make_elemrec v ix =
+           if ix.(1) = k && ix.(0) >= k then { value = v; row = ix.(0); col = k }
+           else { value = 0.0; row = -1; col = k }
+         in
+         let max_abs_in_col e1 e2 =
+           if Float.abs e2.value > Float.abs e1.value then e2 else e1
+         in
+         let e =
+           Skeletons.fold ctx ~cost:Calibration.fold_conv_op
+             ~acc_bytes:elemrec_bytes ~conv:make_elemrec max_abs_in_col a
+         in
+         if e.value = 0.0 then raise Singular;
+         if e.row <> k then
+           Skeletons.permute_rows ctx a (switch_rows e.row k) b
+         else Skeletons.copy ctx a b
+     | No_pivot_search -> Skeletons.copy ctx a b);
+    (* copy_pivot, partially applied to the array b and the row number k:
+       the owner of row k stores the normalized pivot row in its piv
+       partition, everybody else keeps the old value *)
+    let copy_pivot v ix =
+      let bds = Skeletons.part_bounds ctx b in
+      if bds.Index.lower.(0) <= k && k < bds.Index.upper.(0) then
+        Skeletons.get_elem ctx b [| k; ix.(1) |]
+        /. Skeletons.get_elem ctx b [| k; k |]
+      else v
+    in
+    Skeletons.map ctx ~cost:Calibration.gauss_elem_op copy_pivot piv piv;
+    Skeletons.broadcast_part ctx piv [| Darray.owner a [| k; 0 |]; 0 |];
+    (* eliminate, partially applied to k, b and piv *)
+    let eliminate v ix =
+      if ix.(0) = k || ix.(1) < k then v
+      else
+        v
+        -. (Skeletons.get_elem ctx b [| ix.(0); k |]
+            *. Skeletons.get_elem ctx piv [| me; ix.(1) |])
+    in
+    Skeletons.map ctx ~cost:Calibration.gauss_elem_op eliminate b a
+  done;
+  (* pivot elements were never normalized to 1: divide the result column *)
+  let normalize v ix =
+    if ix.(1) = n then v /. Skeletons.get_elem ctx a [| ix.(0); ix.(0) |]
+    else v
+  in
+  Skeletons.map ctx ~cost:Calibration.gauss_elem_op normalize a b;
+  Skeletons.destroy ctx piv;
+  Skeletons.destroy ctx a;
+  b
+
+let solve ?pivoting ctx ~n ~matrix =
+  let b = run ?pivoting ctx ~n ~matrix in
+  let flat = Skeletons.to_flat ctx b in
+  Skeletons.destroy ctx b;
+  Array.init n (fun i -> flat.((i * (n + 1)) + n))
+
+let reference_solve ~n ~matrix =
+  let m = n + 1 in
+  let a = Array.init (n * m) (fun off -> matrix [| off / m; off mod m |]) in
+  for k = 0 to n - 1 do
+    (* partial pivoting *)
+    let best = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs a.((i * m) + k) > Float.abs a.((!best * m) + k) then
+        best := i
+    done;
+    if a.((!best * m) + k) = 0.0 then raise Singular;
+    if !best <> k then
+      for j = 0 to m - 1 do
+        let t = a.((k * m) + j) in
+        a.((k * m) + j) <- a.((!best * m) + j);
+        a.((!best * m) + j) <- t
+      done;
+    let pivot = a.((k * m) + k) in
+    for i = 0 to n - 1 do
+      if i <> k then begin
+        let factor = a.((i * m) + k) /. pivot in
+        for j = k to m - 1 do
+          a.((i * m) + j) <- a.((i * m) + j) -. (factor *. a.((k * m) + j))
+        done
+      end
+    done
+  done;
+  Array.init n (fun i -> a.((i * m) + n) /. a.((i * m) + i))
+
+let residual ~n ~matrix x =
+  let worst = ref 0.0 in
+  for i = 0 to n - 1 do
+    let s = ref 0.0 in
+    for j = 0 to n - 1 do
+      s := !s +. (matrix [| i; j |] *. x.(j))
+    done;
+    worst := Float.max !worst (Float.abs (!s -. matrix [| i; n |]))
+  done;
+  !worst

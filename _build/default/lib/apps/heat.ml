@@ -1,0 +1,79 @@
+type result = {
+  iterations : int;
+  final_delta : float;
+  field : float Darray.t;
+}
+
+let is_boundary ~n ~m ix =
+  ix.(0) = 0 || ix.(1) = 0 || ix.(0) = n - 1 || ix.(1) = m - 1
+
+let solve ctx ?(tol = 1e-4) ?(max_iters = 10_000) ~n ~m ~boundary () =
+  let init ix = if is_boundary ~n ~m ix then boundary ix else 0.0 in
+  let mk g =
+    Skeletons.create ctx ~cost:Calibration.fold_conv_op ~gsize:[| n; m |]
+      ~distr:Darray.Default g
+  in
+  let a = mk init in
+  let b = mk init in
+  let cur = ref a and nxt = ref b in
+  let iterations = ref 0 in
+  let delta = ref infinity in
+  while !delta > tol && !iterations < max_iters do
+    (* one relaxation sweep with a single halo exchange *)
+    let f ~get v ix =
+      if is_boundary ~n ~m ix then v
+      else
+        0.25
+        *. (get (ix.(0) - 1) ix.(1)
+            +. get (ix.(0) + 1) ix.(1)
+            +. get ix.(0) (ix.(1) - 1)
+            +. get ix.(0) (ix.(1) + 1))
+    in
+    Stencil.map_halo ctx ~cost:Calibration.gauss_elem_op ~radius:1 ~f !cur
+      !nxt;
+    (* convergence: the largest pointwise change, known on every processor
+       after the fold's tree reduction + broadcast *)
+    let old = !cur in
+    delta :=
+      Skeletons.fold ctx ~cost:Calibration.fold_conv_op
+        ~conv:(fun v ix ->
+          Float.abs (v -. Skeletons.get_elem ctx old ix))
+        Float.max !nxt;
+    incr iterations;
+    let t = !cur in
+    cur := !nxt;
+    nxt := t
+  done;
+  Skeletons.destroy ctx !nxt;
+  { iterations = !iterations; final_delta = !delta; field = !cur }
+
+let reference ?(tol = 1e-4) ?(max_iters = 10_000) ~n ~m ~boundary () =
+  let init off =
+    let ix = [| off / m; off mod m |] in
+    if is_boundary ~n ~m ix then boundary ix else 0.0
+  in
+  let cur = ref (Array.init (n * m) init) in
+  let nxt = ref (Array.init (n * m) init) in
+  let iterations = ref 0 in
+  let delta = ref infinity in
+  while !delta > tol && !iterations < max_iters do
+    delta := 0.0;
+    for r = 1 to n - 2 do
+      for c = 1 to m - 2 do
+        let v =
+          0.25
+          *. (!cur.(((r - 1) * m) + c)
+              +. !cur.(((r + 1) * m) + c)
+              +. !cur.((r * m) + c - 1)
+              +. !cur.((r * m) + c + 1))
+        in
+        !nxt.((r * m) + c) <- v;
+        delta := Float.max !delta (Float.abs (v -. !cur.((r * m) + c)))
+      done
+    done;
+    incr iterations;
+    let t = !cur in
+    cur := !nxt;
+    nxt := t
+  done;
+  (!cur, !iterations)

@@ -1,0 +1,33 @@
+(** Steady-state heat conduction on a rectangular plate — the partial
+    differential equation workload the paper's future-work section motivates
+    the overlapping-border (ghost cell) extension with.
+
+    Jacobi relaxation with Dirichlet boundaries: interior points move toward
+    the average of their four neighbours until the largest update falls
+    below a tolerance.  Each sweep costs one halo exchange per neighbour
+    pair ({!Stencil.map_halo}) plus one [array_fold] for the convergence
+    test. *)
+
+type result = {
+  iterations : int;
+  final_delta : float;  (** max |update| of the last sweep *)
+  field : float Darray.t;  (** the converged temperature field *)
+}
+
+val solve :
+  Machine.ctx ->
+  ?tol:float ->
+  ?max_iters:int ->
+  n:int ->
+  m:int ->
+  boundary:(Index.t -> float) ->
+  unit ->
+  result
+(** Relax an [n x m] plate whose boundary (and initial interior guess of 0)
+    comes from [boundary].  Row-block distribution over all processors;
+    requires at least one interior row per processor. *)
+
+val reference : ?tol:float -> ?max_iters:int -> n:int -> m:int ->
+  boundary:(Index.t -> float) -> unit -> float array * int
+(** Sequential solver (host-level, for tests): the field and the iteration
+    count. *)

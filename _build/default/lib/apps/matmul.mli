@@ -1,0 +1,19 @@
+(** Classical dense matrix multiplication via [array_gen_mult] with the
+    actual addition and multiplication — the "equally optimized" comparison
+    of paper section 5.1. *)
+
+val run :
+  Machine.ctx ->
+  n:int ->
+  a:(Index.t -> float) ->
+  b:(Index.t -> float) ->
+  float Darray.t
+(** [C = A * B] on a square torus grid whose side divides [n]. *)
+
+val product : Machine.ctx -> n:int -> a:(Index.t -> float) ->
+  b:(Index.t -> float) -> float array
+(** {!run} followed by a gather. *)
+
+val reference : n:int -> a:(Index.t -> float) -> b:(Index.t -> float) ->
+  float array
+(** Sequential triple loop (host-level, for tests). *)

@@ -1,0 +1,27 @@
+(** All-pairs shortest paths by min/plus matrix powers (paper section 4.1).
+
+    The distance matrix [A] of an n-node graph is raised to the n-th power
+    under the (min, +) semiring using [array_gen_mult]; squaring
+    ([A, A^2, A^4, ...]) needs only [ceil(log2 n)] generic multiplications.
+    The skeleton program is a direct transcription of the paper's [shpaths]
+    procedure. *)
+
+val infinity_weight : int
+(** The paper's "maximal integer value representing infinity" (scaled down so
+    that [inf + weight] cannot overflow OCaml ints). *)
+
+val adjusted_n : n:int -> q:int -> int
+(** The paper rounds the node count up to the next multiple of the torus side
+    [q] (e.g. 201 for sqrt p = 3). *)
+
+val run : Machine.ctx -> n:int -> weight:(Index.t -> int) -> int Darray.t
+(** Execute [shpaths] on the calling machine; the returned array holds the
+    all-pairs distances.  Must run on a square processor grid whose side
+    divides [n]. *)
+
+val distances : Machine.ctx -> n:int -> weight:(Index.t -> int) -> int array
+(** {!run} followed by a gather; row-major distance matrix on every
+    processor. *)
+
+val floyd_warshall : n:int -> weight:(Index.t -> int) -> int array
+(** Sequential reference implementation (host-level, for tests). *)

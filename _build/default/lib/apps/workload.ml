@@ -1,0 +1,46 @@
+(* splitmix64 finalizer, truncated to 30 non-negative bits so the same
+   values arise on any platform *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let hash2 ~seed a b =
+  let z =
+    mix
+      (Int64.add
+         (Int64.mul (Int64.of_int seed) 0x9e3779b97f4a7c15L)
+         (Int64.add (Int64.mul (Int64.of_int a) 0x2545f4914f6cdd1dL)
+            (Int64.of_int b)))
+  in
+  Int64.to_int (Int64.logand z 0x3fffffffL)
+
+let unit_float ~seed a b =
+  float_of_int (hash2 ~seed a b) /. float_of_int 0x40000000
+
+let graph_weight ~seed ~n:_ ~max_weight ix =
+  let i = ix.(0) and j = ix.(1) in
+  if i = j then 0 else 1 + (hash2 ~seed i j mod max_weight)
+
+let sparse_graph_weight ~seed ~n:_ ~max_weight ~density ~inf ix =
+  let i = ix.(0) and j = ix.(1) in
+  if i = j then 0
+  else if unit_float ~seed:(seed + 77) i j < density then
+    1 + (hash2 ~seed i j mod max_weight)
+  else inf
+
+let gauss_matrix ~seed ~n ix =
+  let i = ix.(0) and j = ix.(1) in
+  if j = n then (* right-hand side *) (2.0 *. unit_float ~seed:(seed + 1) i 0) -. 1.0
+  else if i = j then (* dominance: |a_ii| > sum of the row *) float_of_int n +. 1.0 +. unit_float ~seed i j
+  else (2.0 *. unit_float ~seed i j -. 1.0) /. float_of_int n
+
+let gauss_matrix_wild ~seed ~n ix =
+  let i = ix.(0) and j = ix.(1) in
+  if j = n then (2.0 *. unit_float ~seed:(seed + 1) i 0) -. 1.0
+  else if i = j && i mod 3 = 0 then 0.0 (* forces row exchanges *)
+  else (2.0 *. unit_float ~seed i j) -. 1.0
+
+let float_matrix ~seed ix = (2.0 *. unit_float ~seed ix.(0) ix.(1)) -. 1.0

@@ -1,0 +1,31 @@
+(** Deterministic synthetic workloads.
+
+    The paper does not publish its input graphs/matrices, so inputs are
+    generated from a splitmix-style hash of (seed, index): every processor
+    can evaluate the same pure [Index.t -> value] initializer locally, which
+    is exactly how [array_create]'s [init_elem] argument is meant to be used. *)
+
+val hash2 : seed:int -> int -> int -> int
+(** 30-bit non-negative hash of two integers. *)
+
+val graph_weight : seed:int -> n:int -> max_weight:int -> Index.t -> int
+(** Distance-matrix entry for a complete directed graph with weights in
+    [1 .. max_weight] and zero diagonal. *)
+
+val sparse_graph_weight :
+  seed:int -> n:int -> max_weight:int -> density:float -> inf:int ->
+  Index.t -> int
+(** Like {!graph_weight} but each off-diagonal edge is present with
+    probability [density]; absent edges get [inf]. *)
+
+val gauss_matrix : seed:int -> n:int -> Index.t -> float
+(** Entry of the extended [n x (n+1)] system [A|b]: a diagonally dominant
+    matrix (so the no-pivot-search variant of the paper's Section 5.2 is
+    numerically safe) with right-hand side in column [n]. *)
+
+val gauss_matrix_wild : seed:int -> n:int -> Index.t -> float
+(** A system that genuinely needs partial pivoting: no dominance, and some
+    (near-)zero diagonal entries. *)
+
+val float_matrix : seed:int -> Index.t -> float
+(** Generic dense float matrix entry in [-1, 1). *)

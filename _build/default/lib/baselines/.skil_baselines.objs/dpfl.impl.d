@@ -1,0 +1,1 @@
+lib/baselines/dpfl.ml: Cost_model Machine

@@ -1,0 +1,1 @@
+lib/baselines/dpfl.mli: Cost_model Machine Topology

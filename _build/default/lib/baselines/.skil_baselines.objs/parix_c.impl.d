@@ -1,0 +1,1 @@
+lib/baselines/parix_c.ml: Array Calibration Collectives Cost_model Float Gauss Machine Shortest_paths Topology

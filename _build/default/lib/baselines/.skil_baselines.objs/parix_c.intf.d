@@ -1,0 +1,1 @@
+lib/baselines/parix_c.mli: Index Machine

@@ -1,0 +1,3 @@
+let profile = Cost_model.dpfl
+let cost = Cost_model.make profile
+let run ~topology f = Machine.run ~cost ~topology f

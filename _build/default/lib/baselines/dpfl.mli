@@ -1,0 +1,21 @@
+(** Model of DPFL, the data-parallel functional language the paper compares
+    against (Kuchen/Plasmeijer/Stoltze, PARLE '94).
+
+    DPFL provided the same distributed-array skeletons, so its communication
+    structure is identical to Skil's; what differed is the sequential
+    execution model — closure-based evaluation with boxed values instead of
+    Skil's translation by instantiation.  The paper measures the resulting
+    factor at ~6.5x on compute-bound configurations.  We therefore model
+    DPFL as: {e the same skeleton programs} run under a cost profile whose
+    per-element factors carry the closure/boxing overhead
+    ({!Cost_model.dpfl}); this reproduces both the plateau near 6.5 and its
+    erosion when communication (identical on both sides) dominates. *)
+
+val profile : Cost_model.profile
+
+val cost : Cost_model.t
+(** Transputer parameters with the DPFL profile. *)
+
+val run :
+  topology:Topology.t -> (Machine.ctx -> 'r) -> 'r Machine.result
+(** Run a skeleton program as its DPFL incarnation. *)

@@ -1,0 +1,43 @@
+(** Hand-written message-passing comparators ("Parix-C").
+
+    These implement the paper's two applications (and matrix multiplication)
+    directly on {!Machine.send}/{!Machine.recv} with tight local loops: no
+    skeleton invocations, no per-element calls through functional arguments,
+    so sequential work is charged at the [Kernel] rate of the active profile.
+    Run them under {!Cost_model.parix_c} for the "equally optimized" C of
+    section 5.1, or under {!Cost_model.parix_c_old} (with a
+    non-embedding-optimized topology) for the older shortest-paths version
+    of Table 1 — the code is the same, the communication semantics differ. *)
+
+val shortest_paths :
+  Machine.ctx -> n:int -> weight:(Index.t -> int) -> int array
+(** All-pairs distances via min/plus Cannon rotations on a square torus
+    grid; returns the calling processor's local block (row-major
+    [bs * bs], block position from the grid coordinates). *)
+
+val shortest_paths_global :
+  Machine.ctx -> n:int -> weight:(Index.t -> int) -> int array
+(** Same, followed by a gather of the full matrix on every processor. *)
+
+val matmul :
+  Machine.ctx ->
+  n:int ->
+  a:(Index.t -> float) ->
+  b:(Index.t -> float) ->
+  float array
+(** Local block of [A * B] (classical arithmetic), Cannon's rotations. *)
+
+val matmul_global :
+  Machine.ctx -> n:int -> a:(Index.t -> float) -> b:(Index.t -> float) ->
+  float array
+
+val gauss :
+  ?pivoting:bool ->
+  Machine.ctx ->
+  n:int ->
+  matrix:(Index.t -> float) ->
+  float array
+(** Row-block Gauss-Jordan elimination of the [n x (n+1)] system; pivot rows
+    travel along a binomial tree.  Returns the solution vector on every
+    processor.  [pivoting] (default false, matching the Table 2 variant)
+    adds the max-column pivot search and row exchange. *)

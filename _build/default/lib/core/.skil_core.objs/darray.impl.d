@@ -1,0 +1,1 @@
+lib/core/darray.ml: Array Distribution Index

@@ -1,0 +1,1 @@
+lib/core/par_io.ml: Array Calibration Darray Index Machine Obj

@@ -1,0 +1,1 @@
+lib/core/par_io.mli: Darray Machine

@@ -1,0 +1,1 @@
+lib/core/skeletons.ml: Array Calibration Collectives Cost_model Darray Distribution Index List Machine Topology

@@ -1,0 +1,1 @@
+lib/core/skeletons.mli: Darray Distribution Index Machine

@@ -1,0 +1,1 @@
+lib/core/stencil.ml: Array Cost_model Darray Distribution Index Machine Skeletons

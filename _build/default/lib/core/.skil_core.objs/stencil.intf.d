@@ -1,0 +1,1 @@
+lib/core/stencil.mli: Darray Index Machine

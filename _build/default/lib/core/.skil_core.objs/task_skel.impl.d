@@ -1,0 +1,1 @@
+lib/core/task_skel.ml: Array List Machine Option

@@ -1,0 +1,123 @@
+exception Local_access_violation of { rank : int; index : int array }
+exception Use_after_destroy
+
+type distr = Default | Ring | Torus2d
+type 'a part = { region : Distribution.region; mutable data : 'a array }
+
+type 'a t = {
+  id : int;
+  dim : int;
+  gsize : Index.size;
+  distr : distr;
+  dist : Distribution.t;
+  parts : 'a part array;
+  elem_bytes : int;
+  mutable destroyed : bool;
+}
+
+let next_id = ref 0
+
+let make ~gsize ~dist ~distr ~elem_bytes init =
+  if Distribution.gsize dist <> gsize then
+    invalid_arg "Darray.make: distribution does not match global size";
+  let nprocs = Distribution.nprocs dist in
+  let parts =
+    Array.init nprocs (fun rank ->
+        let region = Distribution.region dist ~rank in
+        let count = Distribution.region_count region in
+        if count = 0 then { region; data = [||] }
+        else begin
+          (* fill in region order so data.(offset) matches region_offset *)
+          let first = ref None in
+          Distribution.region_iter region (fun ix ->
+              if !first = None then first := Some (init (Array.copy ix)));
+          let v0 = match !first with Some v -> v | None -> assert false in
+          let data = Array.make count v0 in
+          let pos = ref 0 in
+          Distribution.region_iter region (fun ix ->
+              if !pos > 0 then data.(!pos) <- init (Array.copy ix);
+              incr pos);
+          { region; data }
+        end)
+  in
+  incr next_id;
+  {
+    id = !next_id;
+    dim = Array.length gsize;
+    gsize;
+    distr;
+    dist;
+    parts;
+    elem_bytes;
+    destroyed = false;
+  }
+
+let dim a = a.dim
+let gsize a = a.gsize
+let nprocs a = Array.length a.parts
+let elem_bytes a = a.elem_bytes
+let check_alive a = if a.destroyed then raise Use_after_destroy
+let mark_destroyed a = a.destroyed <- true
+
+let part a ~rank =
+  check_alive a;
+  a.parts.(rank)
+
+let local_count a ~rank = Distribution.local_count a.dist ~rank
+let owner a ix = Distribution.owner a.dist ix
+
+let bounds a ~rank =
+  check_alive a;
+  match a.parts.(rank).region with
+  | Distribution.Rect b -> b
+  | Distribution.Rows _ ->
+      invalid_arg "Darray.bounds: cyclic partitions are not rectangular"
+
+let get a ~rank ix =
+  check_alive a;
+  let p = a.parts.(rank) in
+  if not (Distribution.region_mem p.region ix) then
+    raise (Local_access_violation { rank; index = Array.copy ix });
+  p.data.(Distribution.region_offset p.region ix)
+
+let set a ~rank ix v =
+  check_alive a;
+  let p = a.parts.(rank) in
+  if not (Distribution.region_mem p.region ix) then
+    raise (Local_access_violation { rank; index = Array.copy ix });
+  p.data.(Distribution.region_offset p.region ix) <- v
+
+let peek a ix =
+  check_alive a;
+  let rank = owner a ix in
+  let p = a.parts.(rank) in
+  p.data.(Distribution.region_offset p.region ix)
+
+let poke a ix v =
+  check_alive a;
+  let rank = owner a ix in
+  let p = a.parts.(rank) in
+  p.data.(Distribution.region_offset p.region ix) <- v
+
+let to_flat a =
+  check_alive a;
+  let n = Index.volume a.gsize in
+  if n = 0 then [||]
+  else begin
+    let b =
+      { Index.lower = Array.make a.dim 0; upper = Array.copy a.gsize }
+    in
+    let out = ref [||] in
+    let pos = ref 0 in
+    Index.iter b (fun ix ->
+        let v = peek a ix in
+        if !pos = 0 then out := Array.make n v;
+        !out.(!pos) <- v;
+        incr pos);
+    !out
+  end
+
+let row a r =
+  check_alive a;
+  if a.dim <> 2 then invalid_arg "Darray.row: 2-D arrays only";
+  Array.init a.gsize.(1) (fun c -> peek a [| r; c |])

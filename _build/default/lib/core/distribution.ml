@@ -1,0 +1,153 @@
+type scheme = Block | Cyclic | Block_cyclic of int
+
+type region =
+  | Rect of Index.bounds
+  | Rows of { rows : int array; ncols : int }
+
+type t = { gsize : Index.size; pgrid : int array; scheme : scheme }
+
+let create ~gsize ~pgrid scheme =
+  if Array.length gsize <> Array.length pgrid then
+    invalid_arg "Distribution.create: gsize/pgrid dimension mismatch";
+  Array.iter
+    (fun q -> if q <= 0 then invalid_arg "Distribution.create: empty grid")
+    pgrid;
+  Array.iter
+    (fun n -> if n < 0 then invalid_arg "Distribution.create: negative size")
+    gsize;
+  (match scheme with
+   | Block -> ()
+   | Cyclic | Block_cyclic _ ->
+       if Array.length gsize <> 2 then
+         invalid_arg "Distribution.create: cyclic schemes are 2-D only";
+       Array.iteri
+         (fun d q ->
+           if d > 0 && q <> 1 then
+             invalid_arg
+               "Distribution.create: cyclic schemes distribute dimension 0 \
+                only")
+         pgrid;
+       (match scheme with
+        | Block_cyclic k when k <= 0 ->
+            invalid_arg "Distribution.create: non-positive block size"
+        | _ -> ()));
+  { gsize; pgrid; scheme }
+
+let gsize t = t.gsize
+let pgrid t = t.pgrid
+let scheme t = t.scheme
+let nprocs t = Array.fold_left ( * ) 1 t.pgrid
+
+(* Balanced block arithmetic along one dimension. *)
+let block_start n q c = c * n / q
+let block_owner n q i = ((q * (i + 1)) - 1) / n
+
+let chunk t = match t.scheme with Block_cyclic k -> k | _ -> 1
+
+let owner t ix =
+  if Array.length ix <> Array.length t.gsize then
+    invalid_arg "Distribution.owner: dimension mismatch";
+  match t.scheme with
+  | Block ->
+      let rank = ref 0 in
+      for d = 0 to Array.length ix - 1 do
+        rank := (!rank * t.pgrid.(d)) + block_owner t.gsize.(d) t.pgrid.(d) ix.(d)
+      done;
+      !rank
+  | Cyclic | Block_cyclic _ -> ix.(0) / chunk t mod t.pgrid.(0)
+
+let block_coords t ~rank =
+  let dim = Array.length t.pgrid in
+  let c = Array.make dim 0 in
+  let r = ref rank in
+  for d = dim - 1 downto 0 do
+    c.(d) <- !r mod t.pgrid.(d);
+    r := !r / t.pgrid.(d)
+  done;
+  c
+
+let rank_of_block t coords =
+  let rank = ref 0 in
+  for d = 0 to Array.length coords - 1 do
+    rank := (!rank * t.pgrid.(d)) + coords.(d)
+  done;
+  !rank
+
+let cyclic_rows t ~rank =
+  let p = t.pgrid.(0) and n = t.gsize.(0) and k = chunk t in
+  let acc = ref [] in
+  let base = ref (rank * k) in
+  while !base < n do
+    for i = min n (!base + k) - 1 downto !base do
+      acc := i :: !acc
+    done;
+    base := !base + (p * k)
+  done;
+  (* blocks were prepended most-recent-first with descending rows inside,
+     so sorting yields the ascending order [region_iter] relies on *)
+  Array.of_list (List.sort compare !acc)
+
+let region t ~rank =
+  match t.scheme with
+  | Block ->
+      let coords = block_coords t ~rank in
+      let dim = Array.length t.gsize in
+      let lower =
+        Array.init dim (fun d -> block_start t.gsize.(d) t.pgrid.(d) coords.(d))
+      in
+      let upper =
+        Array.init dim (fun d ->
+            block_start t.gsize.(d) t.pgrid.(d) (coords.(d) + 1))
+      in
+      Rect { Index.lower; upper }
+  | Cyclic | Block_cyclic _ ->
+      Rows { rows = cyclic_rows t ~rank; ncols = t.gsize.(1) }
+
+let region_count = function
+  | Rect b -> Index.volume (Index.extent b)
+  | Rows { rows; ncols } -> Array.length rows * ncols
+
+let local_count t ~rank = region_count (region t ~rank)
+
+let same_layout a b =
+  a.gsize = b.gsize && a.pgrid = b.pgrid && a.scheme = b.scheme
+
+let find_row rows r =
+  (* binary search in the sorted row set *)
+  let lo = ref 0 and hi = ref (Array.length rows) in
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) / 2 in
+    if rows.(mid) <= r then lo := mid else hi := mid
+  done;
+  if Array.length rows > 0 && rows.(!lo) = r then Some !lo else None
+
+let region_mem reg ix =
+  match reg with
+  | Rect b -> Index.contains b ix
+  | Rows { rows; ncols } ->
+      Array.length ix = 2
+      && ix.(1) >= 0 && ix.(1) < ncols
+      && find_row rows ix.(0) <> None
+
+let region_offset reg ix =
+  match reg with
+  | Rect b -> Index.local_offset b ix
+  | Rows { rows; ncols } -> (
+      match find_row rows ix.(0) with
+      | Some pos when ix.(1) >= 0 && ix.(1) < ncols -> (pos * ncols) + ix.(1)
+      | Some _ | None ->
+          invalid_arg "Distribution.region_offset: index not in region")
+
+let region_iter reg f =
+  match reg with
+  | Rect b -> Index.iter b f
+  | Rows { rows; ncols } ->
+      let ix = [| 0; 0 |] in
+      Array.iter
+        (fun r ->
+          ix.(0) <- r;
+          for c = 0 to ncols - 1 do
+            ix.(1) <- c;
+            f ix
+          done)
+        rows

@@ -1,0 +1,54 @@
+(** Mapping of a global index space onto a processor grid.
+
+    The paper's arrays are distributed block-wise; cyclic and block-cyclic
+    schemes are the extension named in its future-work section.  Blocks are
+    balanced: dimension of size [n] over [q] processors gives processor [c]
+    the range [\[c*n/q, (c+1)*n/q)], so non-dividing sizes are handled. *)
+
+type scheme =
+  | Block
+  | Cyclic  (** dimension 0 only; row [i] on processor [i mod p] *)
+  | Block_cyclic of int
+      (** dimension 0 only; blocks of [k] rows dealt round-robin *)
+
+type region =
+  | Rect of Index.bounds  (** a contiguous block *)
+  | Rows of { rows : int array; ncols : int }
+      (** a set of whole rows of a 2-D array (cyclic schemes); [rows] is
+          sorted ascending *)
+
+type t
+
+val create : gsize:Index.size -> pgrid:int array -> scheme -> t
+(** [pgrid] has one entry per dimension; its product is the number of
+    processors.  @raise Invalid_argument on dimension mismatch, or if a
+    cyclic scheme is combined with a processor grid that splits any
+    dimension other than 0. *)
+
+val gsize : t -> Index.size
+val pgrid : t -> int array
+val scheme : t -> scheme
+val nprocs : t -> int
+
+val owner : t -> Index.t -> int
+(** Rank owning a global index. *)
+
+val region : t -> rank:int -> region
+val local_count : t -> rank:int -> int
+
+val block_coords : t -> rank:int -> int array
+(** Position of [rank] in the processor grid (row-major). *)
+
+val rank_of_block : t -> int array -> int
+
+val same_layout : t -> t -> bool
+
+val region_count : region -> int
+val region_mem : region -> Index.t -> bool
+val region_offset : region -> Index.t -> int
+(** Row-major offset of a global index inside the region's local storage.
+    @raise Invalid_argument if not a member. *)
+
+val region_iter : region -> (Index.t -> unit) -> unit
+(** Iterate global indices of the region in local-storage order.  The index
+    array passed to the callback is reused; copy it if kept. *)

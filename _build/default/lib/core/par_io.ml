@@ -1,0 +1,89 @@
+type file = {
+  stripes : int;
+  (* partition payloads by rank; Obj-typed like machine messages, recovered
+     at the matching read_array call site (SPMD discipline guarantees the
+     element type matches) *)
+  parts : Obj.t option array;
+  part_bytes : int array;
+  total_bytes : int;
+  gsize : Index.size;
+}
+
+let bytes_of f = f.total_bytes
+let server_of f rank = rank mod f.stripes
+let io_time bytes = float_of_int bytes *. Calibration.io_per_byte
+
+let write_array ctx ?stripes (a : 'a Darray.t) =
+  Darray.check_alive a;
+  Machine.charge_skeleton_call ctx;
+  let p = Machine.nprocs ctx in
+  let stripes =
+    match stripes with
+    | Some s when s >= 1 && s <= p -> s
+    | Some _ -> invalid_arg "Par_io.write_array: stripes out of range"
+    | None -> min 4 p
+  in
+  let tag = Machine.tags ctx 1 in
+  let f =
+    Machine.collective ctx (fun () ->
+        let part_bytes =
+          Array.init p (fun rank ->
+              Darray.local_count a ~rank * Darray.elem_bytes a)
+        in
+        {
+          stripes;
+          parts = Array.make p None;
+          part_bytes;
+          total_bytes = Array.fold_left ( + ) 0 part_bytes;
+          gsize = Darray.gsize a;
+        })
+  in
+  let me = Machine.self ctx in
+  let my_payload = Obj.repr (Array.copy (Darray.part a ~rank:me).Darray.data) in
+  (* clients push their payloads to their stripe server *)
+  if server_of f me <> me then
+    Machine.send ctx ~dest:(server_of f me) ~tag ~bytes:f.part_bytes.(me)
+      my_payload
+  else f.parts.(me) <- Some my_payload;
+  (* each server drains its clients in rank order, pays the disk transfer
+     and acknowledges *)
+  if me < f.stripes then
+    for client = 0 to p - 1 do
+      if server_of f client = me then begin
+        if client <> me then begin
+          let (payload : Obj.t) = Machine.recv ctx ~src:client ~tag in
+          f.parts.(client) <- Some payload
+        end;
+        Machine.compute ctx (io_time f.part_bytes.(client));
+        Machine.send ctx ~dest:client ~tag ~bytes:4 () (* ack *)
+      end
+    done;
+  let () = Machine.recv ctx ~src:(server_of f me) ~tag in
+  f
+
+let read_array ctx (f : file) (a : 'a Darray.t) =
+  Darray.check_alive a;
+  Machine.charge_skeleton_call ctx;
+  if Darray.gsize a <> f.gsize then
+    invalid_arg "Par_io.read_array: size mismatch";
+  let me = Machine.self ctx in
+  let p = Machine.nprocs ctx in
+  let tag = Machine.tags ctx 1 in
+  (* servers pay the disk transfer and ship each client its partition *)
+  if me < f.stripes then
+    for client = 0 to p - 1 do
+      if server_of f client = me then begin
+        Machine.compute ctx (io_time f.part_bytes.(client));
+        match f.parts.(client) with
+        | Some payload ->
+            Machine.send ctx ~dest:client ~tag ~bytes:f.part_bytes.(client)
+              payload
+        | None -> invalid_arg "Par_io.read_array: file was never written"
+      end
+    done;
+  let (payload : Obj.t) = Machine.recv ctx ~src:(server_of f me) ~tag in
+  let (stored : 'a array) = Obj.obj payload in
+  let data = (Darray.part a ~rank:me).Darray.data in
+  if Array.length stored <> Array.length data then
+    invalid_arg "Par_io.read_array: layout mismatch";
+  Array.blit stored 0 data 0 (Array.length data)

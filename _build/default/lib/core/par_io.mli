@@ -1,0 +1,23 @@
+(** Parallel I/O skeletons — the second future-work item of the paper
+    ("in order to be able to cope with 'real world' applications, new
+    skeletons, for instance for (parallel) I/O, must be designed").
+
+    The disk is modeled as [stripes] independent I/O servers hosted on the
+    first [stripes] processors; partitions are written/read round-robin
+    across the stripes, each stripe serializing its requests.  Costs use
+    {!Calibration.io_per_byte}; no host file system is touched. *)
+
+type file
+(** A simulated file: the written partitions, retained for {!read_array}. *)
+
+val write_array : Machine.ctx -> ?stripes:int -> 'a Darray.t -> file
+(** Collective write of the whole array; returns the file handle (the same
+    handle on every processor).  [stripes] defaults to
+    [min 4 (nprocs)]. *)
+
+val read_array : Machine.ctx -> file -> 'a Darray.t -> unit
+(** Collective read back into an array of the same layout.
+    @raise Invalid_argument on layout mismatch. *)
+
+val bytes_of : file -> int
+(** Total payload size of the file. *)

@@ -1,0 +1,341 @@
+type ctx = Machine.ctx
+
+let default_elem_cost = 10.0e-6
+
+let skeleton ctx = Machine.charge_skeleton_call ctx
+let rank ctx = Machine.self ctx
+
+(* ------------------------------------------------------------------ *)
+(* Creation / destruction                                              *)
+
+let pgrid_for ctx ~gsize ~(distr : Darray.distr) =
+  let topo = Machine.topology ctx in
+  let p = Machine.nprocs ctx in
+  match (distr, Array.length gsize) with
+  | Torus2d, 2 -> [| Topology.height topo; Topology.width topo |]
+  | Torus2d, _ ->
+      invalid_arg "Skeletons.create: Torus2d distribution needs a 2-D array"
+  | (Default | Ring), 1 -> [| p |]
+  | (Default | Ring), 2 -> [| p; 1 |]
+  | (Default | Ring), _ ->
+      invalid_arg "Skeletons.create: only 1-D and 2-D arrays are supported"
+
+let create ctx ?(elem_bytes = Calibration.elem_bytes)
+    ?(scheme = Distribution.Block) ?(cost = default_elem_cost) ~gsize ~distr
+    init =
+  skeleton ctx;
+  (match (scheme, distr) with
+   | (Distribution.Cyclic | Distribution.Block_cyclic _), Darray.Torus2d ->
+       invalid_arg "Skeletons.create: cyclic schemes use row distribution"
+   | _ -> ());
+  let a =
+    Machine.collective ctx (fun () ->
+        let pgrid = pgrid_for ctx ~gsize ~distr in
+        let dist = Distribution.create ~gsize ~pgrid scheme in
+        Darray.make ~gsize ~dist ~distr ~elem_bytes init)
+  in
+  Machine.charge ctx Cost_model.Mapped
+    ~ops:(Darray.local_count a ~rank:(rank ctx))
+    ~base:cost;
+  a
+
+let destroy ctx a =
+  skeleton ctx;
+  (* Deallocation takes effect when the slowest processor reaches it: faster
+     processors must not invalidate partitions their peers are still using. *)
+  let remaining = Machine.collective ctx (fun () -> ref (Machine.nprocs ctx)) in
+  decr remaining;
+  if !remaining = 0 then Darray.mark_destroyed a
+
+(* ------------------------------------------------------------------ *)
+(* Local access                                                        *)
+
+let part_bounds ctx a = Darray.bounds a ~rank:(rank ctx)
+let get_elem ctx a ix = Darray.get a ~rank:(rank ctx) ix
+let put_elem ctx a ix v = Darray.set a ~rank:(rank ctx) ix v
+
+(* ------------------------------------------------------------------ *)
+(* map                                                                 *)
+
+let check_same_layout name a b =
+  Darray.check_alive a;
+  Darray.check_alive b;
+  if not (Distribution.same_layout a.Darray.dist b.Darray.dist) then
+    invalid_arg (name ^ ": arrays have different layouts")
+
+let map_general ctx ~cost f (src : 'a Darray.t) (dst : 'b Darray.t) =
+  skeleton ctx;
+  let me = rank ctx in
+  let ps = Darray.part src ~rank:me and pd = Darray.part dst ~rank:me in
+  let pos = ref 0 in
+  Distribution.region_iter ps.Darray.region (fun ix ->
+      pd.Darray.data.(!pos) <- f ps.Darray.data.(!pos) ix;
+      incr pos);
+  Machine.charge ctx Cost_model.Mapped ~ops:!pos ~base:cost
+
+let map ctx ?(cost = default_elem_cost) f src dst =
+  check_same_layout "array_map" src dst;
+  map_general ctx ~cost f src dst
+
+let map_into ctx ?(cost = default_elem_cost) f src dst =
+  check_same_layout "array_map" src dst;
+  if src.Darray.id = dst.Darray.id then
+    invalid_arg "array_map: in-situ map cannot change the element type";
+  map_general ctx ~cost f src dst
+
+(* ------------------------------------------------------------------ *)
+(* fold                                                                *)
+
+let fold ctx ?(cost = default_elem_cost) ?acc_bytes ~conv f (a : 'a Darray.t)
+    =
+  Darray.check_alive a;
+  skeleton ctx;
+  let me = rank ctx in
+  let p = Darray.part a ~rank:me in
+  let acc = ref None in
+  let pos = ref 0 in
+  Distribution.region_iter p.Darray.region (fun ix ->
+      let v = conv p.Darray.data.(!pos) ix in
+      incr pos;
+      acc := Some (match !acc with None -> v | Some w -> f w v));
+  Machine.charge ctx Cost_model.Mapped ~ops:!pos ~base:cost;
+  let bytes =
+    match acc_bytes with Some b -> b | None -> Darray.elem_bytes a
+  in
+  let tag = Machine.tags ctx 1 in
+  let merge x y =
+    match (x, y) with
+    | Some x, Some y -> Some (f x y)
+    | (Some _ as s), None | None, (Some _ as s) -> s
+    | None, None -> None
+  in
+  match Collectives.allreduce ctx ~tag ~bytes merge !acc with
+  | Some v -> v
+  | None -> invalid_arg "array_fold: empty array"
+
+(* ------------------------------------------------------------------ *)
+(* copy                                                                *)
+
+let copy ctx (src : 'a Darray.t) (dst : 'a Darray.t) =
+  check_same_layout "array_copy" src dst;
+  skeleton ctx;
+  let me = rank ctx in
+  let ps = Darray.part src ~rank:me and pd = Darray.part dst ~rank:me in
+  let n = Array.length ps.Darray.data in
+  Array.blit ps.Darray.data 0 pd.Darray.data 0 n;
+  Machine.charge_copy ctx ~bytes:(n * Darray.elem_bytes src)
+
+(* ------------------------------------------------------------------ *)
+(* broadcast_part                                                      *)
+
+let broadcast_part ctx (a : 'a Darray.t) ix =
+  Darray.check_alive a;
+  skeleton ctx;
+  let me = rank ctx in
+  let root = Darray.owner a ix in
+  let p = Darray.part a ~rank:me in
+  let count = Array.length p.Darray.data in
+  let root_count = Darray.local_count a ~rank:root in
+  if count <> root_count then
+    invalid_arg "array_broadcast_part: partitions have different shapes";
+  let tag = Machine.tags ctx 1 in
+  let bytes = count * Darray.elem_bytes a in
+  (* The root broadcasts a snapshot: messages travel by reference in the
+     simulator, and the root may overwrite its partition before a slow
+     receiver has consumed the message. *)
+  let outgoing = if me = root then Array.copy p.Darray.data else [||] in
+  let received = Collectives.bcast ctx ~tag ~root ~bytes outgoing in
+  if me <> root then begin
+    Array.blit received 0 p.Darray.data 0 count;
+    Machine.charge_copy ctx ~bytes
+  end
+
+(* ------------------------------------------------------------------ *)
+(* permute_rows                                                        *)
+
+let permutation_inverse n perm =
+  let inv = Array.make n (-1) in
+  for r = 0 to n - 1 do
+    let d = perm r in
+    if d < 0 || d >= n || inv.(d) >= 0 then
+      invalid_arg
+        "array_permute_rows: permutation function is not a bijection";
+    inv.(d) <- r
+  done;
+  inv
+
+(* Rows of a partition in local-storage order, with the column range of the
+   partition (identical for source and target since layouts match). *)
+let partition_rows (p : 'a Darray.part) =
+  match p.Darray.region with
+  | Distribution.Rect b ->
+      ( Array.init (b.Index.upper.(0) - b.Index.lower.(0)) (fun i ->
+            b.Index.lower.(0) + i),
+        b.Index.lower.(1),
+        b.Index.upper.(1) - b.Index.lower.(1) )
+  | Distribution.Rows { rows; ncols } -> (rows, 0, ncols)
+
+let permute_rows ctx (src : 'a Darray.t) perm (dst : 'a Darray.t) =
+  check_same_layout "array_permute_rows" src dst;
+  if Darray.dim src <> 2 then
+    invalid_arg "array_permute_rows: 2-D arrays only";
+  if src.Darray.id = dst.Darray.id then
+    invalid_arg "array_permute_rows: source and target must be distinct";
+  skeleton ctx;
+  let n = (Darray.gsize src).(0) in
+  let inv = permutation_inverse n perm in
+  Machine.charge ctx Cost_model.Scalar ~ops:n ~base:0.2e-6;
+  let me = rank ctx in
+  let ps = Darray.part src ~rank:me and pd = Darray.part dst ~rank:me in
+  let my_rows, col_lo, width = partition_rows ps in
+  let tag = Machine.tags ctx 1 in
+  let row_bytes = width * Darray.elem_bytes src in
+  (* Outgoing rows, in ascending source-row order. *)
+  let pending_local = ref [] in
+  Array.iteri
+    (fun lpos r ->
+      let d = perm r in
+      let owner = Darray.owner dst [| d; col_lo |] in
+      let segment = Array.sub ps.Darray.data (lpos * width) width in
+      if owner = me then pending_local := (d, segment) :: !pending_local
+      else Machine.send ctx ~dest:owner ~tag ~bytes:row_bytes segment)
+    my_rows;
+  (* Local moves (buffered so an overlapping in-place pattern still reads
+     pre-permutation data, matching a message-based implementation). *)
+  List.iter
+    (fun (d, segment) ->
+      let off = Distribution.region_offset pd.Darray.region [| d; col_lo |] in
+      Array.blit segment 0 pd.Darray.data off width;
+      Machine.charge_copy ctx ~bytes:row_bytes)
+    !pending_local;
+  (* Incoming rows: sorted by (source owner, source row) so the receive
+     order matches each sender's FIFO send order. *)
+  let dst_rows, _, _ = partition_rows pd in
+  let incoming =
+    Array.to_list dst_rows
+    |> List.filter_map (fun d ->
+           let s = inv.(d) in
+           let owner = Darray.owner src [| s; col_lo |] in
+           if owner = me then None else Some (owner, s, d))
+    |> List.sort compare
+  in
+  List.iter
+    (fun (owner, _s, d) ->
+      let segment : 'a array = Machine.recv ctx ~src:owner ~tag in
+      let off = Distribution.region_offset pd.Darray.region [| d; col_lo |] in
+      Array.blit segment 0 pd.Darray.data off width)
+    incoming
+
+(* ------------------------------------------------------------------ *)
+(* gen_mult — Gentleman's algorithm on the torus                       *)
+
+let gen_mult ctx ?(cost = default_elem_cost) ~add ~mul (a : 'a Darray.t)
+    (b : 'a Darray.t) (c : 'a Darray.t) =
+  check_same_layout "array_gen_mult" a b;
+  check_same_layout "array_gen_mult" a c;
+  if a.Darray.id = b.Darray.id || a.Darray.id = c.Darray.id
+     || b.Darray.id = c.Darray.id
+  then invalid_arg "array_gen_mult: the three arrays must be distinct";
+  let gs = Darray.gsize a in
+  if Darray.dim a <> 2 || gs.(0) <> gs.(1) then
+    invalid_arg "array_gen_mult: square matrices only";
+  let dist = a.Darray.dist in
+  let pg = Distribution.pgrid dist in
+  if Array.length pg <> 2 || pg.(0) <> pg.(1) then
+    invalid_arg
+      "array_gen_mult: needs a square processor grid (Torus2d distribution)";
+  let q = pg.(0) in
+  let n = gs.(0) in
+  if n mod q <> 0 then
+    invalid_arg "array_gen_mult: grid side must divide the matrix size";
+  skeleton ctx;
+  let bs = n / q in
+  let me = rank ctx in
+  let coords = Distribution.block_coords dist ~rank:me in
+  let bi = coords.(0) and bj = coords.(1) in
+  let at_rc r c = Distribution.rank_of_block dist [| r mod q; c mod q |] in
+  let block_bytes = bs * bs * Darray.elem_bytes a in
+  let tag_a = Machine.tags ctx 2 in
+  let tag_b = tag_a + 1 in
+  let exchange tag ~dest ~src block =
+    if dest = me && src = me then block
+    else Machine.sendrecv ctx ~dest ~src ~tag ~bytes:block_bytes block
+  in
+  (* Work on rotating snapshots: messages travel by reference, and a fast
+     processor may mutate its partitions (e.g. through a following
+     array_copy) while slower peers still read the rotating blocks.  The
+     partitions of a and b are never mutated here, so their contents survive
+     the call unchanged. *)
+  let ablock = ref (Array.copy (Darray.part a ~rank:me).Darray.data) in
+  let bblock = ref (Array.copy (Darray.part b ~rank:me).Darray.data) in
+  let cdata = (Darray.part c ~rank:me).Darray.data in
+  (* Initial skew: row i of A rotates west by i, column j of B north by j. *)
+  ablock :=
+    exchange tag_a ~dest:(at_rc bi (bj - bi + q)) ~src:(at_rc bi (bj + bi))
+      !ablock;
+  bblock :=
+    exchange tag_b ~dest:(at_rc (bi - bj + q) bj) ~src:(at_rc (bi + bj) bj)
+      !bblock;
+  let multiply () =
+    let ad = !ablock and bd = !bblock in
+    for i = 0 to bs - 1 do
+      for k = 0 to bs - 1 do
+        let aik = ad.((i * bs) + k) in
+        for j = 0 to bs - 1 do
+          let off = (i * bs) + j in
+          cdata.(off) <- add cdata.(off) (mul aik bd.((k * bs) + j))
+        done
+      done
+    done;
+    Machine.charge ctx Cost_model.Kernel ~ops:(bs * bs * bs) ~base:cost
+  in
+  for step = 1 to q do
+    if step < q then begin
+      (* Post the rotations before computing: with asynchronous links the
+         transfer overlaps the local multiplication (the "new" C style);
+         under a sync_comm profile the sender blocks, which is exactly the
+         old style's behaviour. *)
+      Machine.send ctx ~dest:(at_rc bi (bj - 1 + q)) ~tag:tag_a
+        ~bytes:block_bytes !ablock;
+      Machine.send ctx ~dest:(at_rc (bi - 1 + q) bj) ~tag:tag_b
+        ~bytes:block_bytes !bblock;
+      multiply ();
+      ablock := Machine.recv ctx ~src:(at_rc bi (bj + 1)) ~tag:tag_a;
+      bblock := Machine.recv ctx ~src:(at_rc (bi + 1) bj) ~tag:tag_b
+    end
+    else multiply ()
+  done;
+  (* Un-skew so every partition physically returns home, as the in-place
+     transputer implementation must (timing realism; values are already
+     correct since a and b were never mutated). *)
+  if q > 1 then begin
+    ignore
+      (exchange tag_a
+         ~dest:(at_rc bi (bi + bj + q - 1))
+         ~src:(at_rc bi (bj - bi + 1 + q))
+         !ablock);
+    ignore
+      (exchange tag_b
+         ~dest:(at_rc (bi + bj + q - 1) bj)
+         ~src:(at_rc (bi - bj + 1 + q) bj)
+         !bblock)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* gather                                                              *)
+
+let to_flat ctx (a : 'a Darray.t) =
+  Darray.check_alive a;
+  skeleton ctx;
+  let me = rank ctx in
+  let p = Darray.part a ~rank:me in
+  let tag = Machine.tags ctx 1 in
+  let local_bytes = Array.length p.Darray.data * Darray.elem_bytes a in
+  ignore
+    (Collectives.gather_to ctx ~tag ~root:0 ~bytes:local_bytes p.Darray.data);
+  let flat =
+    if me = 0 then Darray.to_flat a
+    else [||] (* placeholder; replaced by the broadcast below *)
+  in
+  let total_bytes = Index.volume (Darray.gsize a) * Darray.elem_bytes a in
+  Collectives.bcast ctx ~tag ~root:0 ~bytes:total_bytes flat

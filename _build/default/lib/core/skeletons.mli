@@ -1,0 +1,123 @@
+(** The paper's data-parallel skeletons on distributed arrays (section 3).
+
+    Every function here is a {e collective}: all processors of the machine
+    must call it at the same program point with the same arguments (SPMD
+    discipline).  [ctx] is the calling processor's machine context.
+
+    Cost accounting: per-element work executed through a functional argument
+    is charged at the [Mapped] rate of the run's language profile, tight
+    inner loops ([gen_mult]) at the [Kernel] rate, and every skeleton call
+    pays the profile's fixed invocation overhead.  The [?cost] parameters
+    give the C-level seconds of one element visit (see {!Calibration} in
+    [skil_machine]); skeleton implementations add their own communication. *)
+
+type ctx = Machine.ctx
+
+val default_elem_cost : float
+(** Used when [?cost] is omitted: a generic arithmetic element visit. *)
+
+(** {1 Creation and destruction} *)
+
+val create :
+  ctx ->
+  ?elem_bytes:int ->
+  ?scheme:Distribution.scheme ->
+  ?cost:float ->
+  gsize:Index.size ->
+  distr:Darray.distr ->
+  (Index.t -> 'a) ->
+  'a Darray.t
+(** [array_create].  The block sizes and lower bounds are derived from the
+    machine topology and [distr], corresponding to the paper's "default"
+    values (0 block sizes, -1 lower bounds): [Torus2d] distributes blocks
+    over the processor grid, [Default] and [Ring] distribute rows.
+    [?scheme] selects the future-work cyclic layouts (Default/Ring only). *)
+
+val destroy : ctx -> 'a Darray.t -> unit
+(** [array_destroy].  Collective; the array is unusable afterwards. *)
+
+(** {1 Element access (local only)} *)
+
+val part_bounds : ctx -> 'a Darray.t -> Index.bounds
+(** [array_part_bounds] for the calling processor's partition. *)
+
+val get_elem : ctx -> 'a Darray.t -> Index.t -> 'a
+(** [array_get_elem].
+    @raise Darray.Local_access_violation on non-local indices. *)
+
+val put_elem : ctx -> 'a Darray.t -> Index.t -> 'a -> unit
+(** [array_put_elem].
+    @raise Darray.Local_access_violation on non-local indices. *)
+
+(** {1 Skeletons} *)
+
+val map :
+  ctx -> ?cost:float -> ('a -> Index.t -> 'a) -> 'a Darray.t -> 'a Darray.t -> unit
+(** [array_map map_f from to].  [from] and [to] may be the same array, in
+    which case the replacement is done in situ (paper semantics).  The two
+    arrays must have the same layout.  The index passed to [map_f] is
+    transient; copy it if kept. *)
+
+val map_into :
+  ctx -> ?cost:float -> ('a -> Index.t -> 'b) -> 'a Darray.t -> 'b Darray.t -> unit
+(** [map] between arrays of different element types (necessarily distinct
+    arrays). *)
+
+val fold :
+  ctx ->
+  ?cost:float ->
+  ?acc_bytes:int ->
+  conv:('a -> Index.t -> 'b) ->
+  ('b -> 'b -> 'b) ->
+  'a Darray.t ->
+  'b
+(** [array_fold conv_f fold_f a]: convert every element, fold each partition
+    locally, combine partition results along a virtual tree topology and
+    broadcast the outcome back, so every processor returns the result.
+    [fold_f] should be associative and commutative; the order of combination
+    is unspecified otherwise.  [acc_bytes] is the wire size of one ['b]
+    (default: the array's element size).
+    @raise Invalid_argument on empty arrays. *)
+
+val copy : ctx -> 'a Darray.t -> 'a Darray.t -> unit
+(** [array_copy from to]: partition-wise contiguous copy (cheap — no
+    per-element function calls).  Layouts must match. *)
+
+val broadcast_part : ctx -> 'a Darray.t -> Index.t -> unit
+(** [array_broadcast_part a ix]: the partition containing [ix] overwrites
+    every other partition (tree broadcast).  All partitions must have the
+    same shape. *)
+
+val permute_rows :
+  ctx -> 'a Darray.t -> (int -> int) -> 'a Darray.t -> unit
+(** [array_permute_rows from perm_f to] for 2-D arrays: row [r] of [from]
+    becomes row [perm_f r] of [to].  [from] and [to] must be distinct with
+    identical layouts.
+    @raise Invalid_argument (the paper's run-time error) if [perm_f] is not
+    a bijection on the row numbers. *)
+
+val gen_mult :
+  ctx ->
+  ?cost:float ->
+  add:('a -> 'a -> 'a) ->
+  mul:('a -> 'a -> 'a) ->
+  'a Darray.t ->
+  'a Darray.t ->
+  'a Darray.t ->
+  unit
+(** [array_gen_mult a b ~add ~mul c]: Gentleman's distributed matrix
+    multiplication generalized over [add]/[mul]; partial products are
+    accumulated into the existing contents of [c] (the paper's shortest-paths
+    program relies on this by pre-initializing [c] with the neutral
+    element).  Communication/computation overlap: partition rotations are
+    posted before each local block multiplication.
+
+    Requirements (checked): [a], [b], [c] pairwise distinct, square n x n
+    arrays block-distributed over a square processor grid whose side divides
+    n. *)
+
+(** {1 Convenience} *)
+
+val to_flat : ctx -> 'a Darray.t -> 'a array
+(** Gather the whole array on every processor (all-gather; charged).  Mostly
+    for result output in examples. *)

@@ -1,0 +1,82 @@
+let row_block_bounds name (a : 'a Darray.t) rank =
+  match (Darray.part a ~rank).Darray.region with
+  | Distribution.Rect b when Array.length b.Index.lower = 2 -> b
+  | Distribution.Rect _ | Distribution.Rows _ ->
+      invalid_arg (name ^ ": needs a 2-D row-block distributed array")
+
+let map_halo ctx ?(cost = Skeletons.default_elem_cost) ~radius ~f
+    (src : 'a Darray.t) (dst : 'a Darray.t) =
+  if radius < 0 then invalid_arg "Stencil.map_halo: negative radius";
+  Darray.check_alive src;
+  Darray.check_alive dst;
+  if src.Darray.id = dst.Darray.id then
+    invalid_arg "Stencil.map_halo: source and target must be distinct";
+  if not (Distribution.same_layout src.Darray.dist dst.Darray.dist) then
+    invalid_arg "Stencil.map_halo: arrays have different layouts";
+  Machine.charge_skeleton_call ctx;
+  let me = Machine.self ctx in
+  let p = Machine.nprocs ctx in
+  let b = row_block_bounds "Stencil.map_halo" src me in
+  let r0 = b.Index.lower.(0) and r1 = b.Index.upper.(0) in
+  let ncols = b.Index.upper.(1) - b.Index.lower.(1) in
+  let nrows_global = (Darray.gsize src).(0) in
+  let data = (Darray.part src ~rank:me).Darray.data in
+  if p > 1 && r1 - r0 < radius then
+    invalid_arg
+      "Stencil.map_halo: every partition needs at least `radius` rows";
+  let tag = Machine.tags ctx 2 in
+  let tag_up = tag and tag_down = tag + 1 in
+  let row_bytes = ncols * Darray.elem_bytes src in
+  let halo_rows local_first count =
+    Array.sub data (local_first * ncols) (count * ncols)
+  in
+  (* Post boundary-row exchanges with both neighbours (one message each). *)
+  let up_count = min radius (r1 - r0) and down_count = min radius (r1 - r0) in
+  if me > 0 && up_count > 0 then
+    Machine.send ctx ~dest:(me - 1) ~tag:tag_up
+      ~bytes:(up_count * row_bytes)
+      (halo_rows 0 up_count);
+  if me < p - 1 && down_count > 0 then
+    Machine.send ctx ~dest:(me + 1) ~tag:tag_down
+      ~bytes:(down_count * row_bytes)
+      (halo_rows (r1 - r0 - down_count) down_count);
+  let north : 'a array =
+    if me > 0 && radius > 0 then Machine.recv ctx ~src:(me - 1) ~tag:tag_down
+    else [||]
+  in
+  let south : 'a array =
+    if me < p - 1 && radius > 0 then
+      Machine.recv ctx ~src:(me + 1) ~tag:tag_up
+    else [||]
+  in
+  let north_rows = Array.length north / max 1 ncols in
+  let get r c =
+    if c < 0 || c >= ncols || r < 0 || r >= nrows_global then
+      invalid_arg "Stencil.map_halo: access outside the global array"
+    else if r >= r0 && r < r1 then data.(((r - r0) * ncols) + c)
+    else if r < r0 && r0 - r <= north_rows then
+      north.(((r - (r0 - north_rows)) * ncols) + c)
+    else if r >= r1 && r - r1 < Array.length south / max 1 ncols then
+      south.(((r - r1) * ncols) + c)
+    else invalid_arg "Stencil.map_halo: access beyond the halo radius"
+  in
+  let ddata = (Darray.part dst ~rank:me).Darray.data in
+  let ix = [| 0; 0 |] in
+  for r = r0 to r1 - 1 do
+    ix.(0) <- r;
+    for c = 0 to ncols - 1 do
+      ix.(1) <- c;
+      ddata.(((r - r0) * ncols) + c) <- f ~get data.(((r - r0) * ncols) + c) ix
+    done
+  done;
+  Machine.charge ctx Cost_model.Mapped ~ops:((r1 - r0) * ncols) ~base:cost
+
+let jacobi_step ctx ?cost src dst =
+  let n = (Darray.gsize src).(0) and m = (Darray.gsize src).(1) in
+  let f ~get v ix =
+    let r = ix.(0) and c = ix.(1) in
+    if r = 0 || c = 0 || r = n - 1 || c = m - 1 then v
+    else
+      0.25 *. (get (r - 1) c +. get (r + 1) c +. get r (c - 1) +. get r (c + 1))
+  in
+  map_halo ctx ?cost ~radius:1 ~f src dst

@@ -1,0 +1,33 @@
+(** Overlapping partition borders (ghost cells) — the block-distribution
+    extension named in the paper's future work: "it should be possible to
+    define overlapping areas for the single partitions, in order to reduce
+    communication in operations which require more than one element at a
+    time.  Such operations are used for instance in solving partial
+    differential equations ... or in image processing."
+
+    Works on 2-D arrays with the row-block ([Default]) distribution. *)
+
+val map_halo :
+  Machine.ctx ->
+  ?cost:float ->
+  radius:int ->
+  f:(get:(int -> int -> 'a) -> 'a -> Index.t -> 'a) ->
+  'a Darray.t ->
+  'a Darray.t ->
+  unit
+(** [map_halo ctx ~radius ~f src dst]: exchange [radius] boundary rows with
+    the neighbouring partitions, then map [f] over the local elements.  [f]
+    receives an accessor valid for any element whose row is within [radius]
+    of the partition (and inside the global array) plus the current element
+    and its index.  [src] and [dst] must be distinct arrays with identical
+    layouts.
+
+    Communication: 2 messages per processor per call (one per neighbour),
+    regardless of [radius] — the point of overlapping borders versus
+    fetching neighbours element-wise. *)
+
+val jacobi_step :
+  Machine.ctx -> ?cost:float -> float Darray.t -> float Darray.t -> unit
+(** One 4-neighbour Jacobi relaxation step with Dirichlet boundaries (edge
+    elements are copied unchanged): the PDE workload the paper's future-work
+    section motivates.  Implemented with {!map_halo} ([radius] 1). *)

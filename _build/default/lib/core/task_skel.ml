@@ -1,0 +1,125 @@
+type ('p, 's) token = Work of 'p | Idle | Result of 's | No_result
+
+let token_bytes ~problem_bytes ~solution_bytes = function
+  | Work p -> 4 + problem_bytes p
+  | Result s -> 4 + solution_bytes s
+  | Idle | No_result -> 4
+
+let divide_conquer ctx ~problem_bytes ~solution_bytes ~is_trivial ~solve
+    ~divide ~combine problem =
+  Machine.charge_skeleton_call ctx;
+  let self = Machine.self ctx in
+  let p = Machine.nprocs ctx in
+  let tag = Machine.tags ctx 1 in
+  let bytes = token_bytes ~problem_bytes ~solution_bytes in
+  let send dest tok = Machine.send ctx ~dest ~tag ~bytes:(bytes tok) tok in
+  let rec seq pr =
+    if is_trivial pr then solve pr
+    else
+      let p1, p2 = divide pr in
+      combine (seq p1) (seq p2)
+  in
+  (* All ranks of [lo, hi) participate; the problem (if any) sits on [lo]. *)
+  let rec go lo hi my =
+    if hi - lo = 1 then Option.map seq my
+    else begin
+      let mid = (lo + hi + 1) / 2 in
+      if self >= mid then begin
+        let my' =
+          if self = mid then
+            match (Machine.recv ctx ~src:lo ~tag : ('p, 's) token) with
+            | Work pr -> Some pr
+            | Idle -> None
+            | Result _ | No_result -> assert false
+          else None
+        in
+        let r = go mid hi my' in
+        if self = mid then
+          send lo (match r with Some s -> Result s | None -> No_result);
+        None
+      end
+      else begin
+        let keep =
+          if self = lo then
+            match my with
+            | Some pr when not (is_trivial pr) ->
+                let p1, p2 = divide pr in
+                send mid (Work p2);
+                Some p1
+            | (Some _ | None) as k ->
+                send mid Idle;
+                k
+          else None
+        in
+        let s1 = go lo mid keep in
+        if self <> lo then None
+        else
+          match ((Machine.recv ctx ~src:mid ~tag : ('p, 's) token), s1) with
+          | Result s2, Some s1 -> Some (combine s1 s2)
+          | No_result, s1 -> s1
+          | Result _, None | (Work _ | Idle), _ -> assert false
+      end
+    end
+  in
+  go 0 p (if self = 0 then problem else None)
+
+let farm ctx ~task_bytes ~result_bytes ~worker tasks =
+  Machine.charge_skeleton_call ctx;
+  let self = Machine.self ctx in
+  let p = Machine.nprocs ctx in
+  let tag = Machine.tags ctx 2 in
+  let task_tag = tag and result_tag = tag + 1 in
+  if p = 1 then Option.map (List.map worker) tasks
+  else if self = 0 then begin
+    let tasks =
+      match tasks with
+      | Some t -> Array.of_list t
+      | None -> invalid_arg "Task_skel.farm: master got no task list"
+    in
+    let n = Array.length tasks in
+    let results = Array.make n None in
+    let next = ref 0 in
+    let outstanding = ref 0 in
+    let dispatch dest =
+      if !next < n then begin
+        let i = !next in
+        incr next;
+        incr outstanding;
+        Machine.send ctx ~dest ~tag:task_tag
+          ~bytes:(4 + task_bytes tasks.(i))
+          (Some (i, tasks.(i)))
+      end
+      else
+        Machine.send ctx ~dest ~tag:task_tag ~bytes:4
+          (None : (int * 'a) option)
+    in
+    for w = 1 to p - 1 do
+      dispatch w
+    done;
+    while !outstanding > 0 do
+      let src, (i, (res : 'b)) = Machine.recv_any ctx ~tag:result_tag in
+      decr outstanding;
+      results.(i) <- Some res;
+      dispatch src
+    done;
+    Some
+      (Array.to_list
+         (Array.map
+            (function
+              | Some r -> r
+              | None -> invalid_arg "Task_skel.farm: missing result")
+            results))
+  end
+  else begin
+    let continue_ = ref true in
+    while !continue_ do
+      match (Machine.recv ctx ~src:0 ~tag:task_tag : (int * 'a) option) with
+      | Some (i, task) ->
+          let res = worker task in
+          Machine.send ctx ~dest:0 ~tag:result_tag
+            ~bytes:(4 + result_bytes res)
+            (i, res)
+      | None -> continue_ := false
+    done;
+    None
+  end

@@ -1,0 +1,37 @@
+(** Task-parallel skeletons: divide&conquer (the paper's introductory
+    example) and a dynamic processor farm.
+
+    Both are collectives over the whole machine.  User functions may charge
+    their own work through {!Machine.charge}; the skeletons account for the
+    communication. *)
+
+val divide_conquer :
+  Machine.ctx ->
+  problem_bytes:('p -> int) ->
+  solution_bytes:('s -> int) ->
+  is_trivial:('p -> bool) ->
+  solve:('p -> 's) ->
+  divide:('p -> 'p * 'p) ->
+  combine:('s -> 's -> 's) ->
+  'p option ->
+  's option
+(** The d&c computation pattern of section 1, distributed by recursive
+    bisection of the processor set: at each level the current owner keeps
+    the first sub-problem and ships the second to the middle of the other
+    half of its processor group; once a group is a single processor the
+    remaining recursion runs locally.  The problem is supplied on processor
+    0 ([Some p] there, [None] elsewhere) and the solution is returned on
+    processor 0. *)
+
+val farm :
+  Machine.ctx ->
+  task_bytes:('a -> int) ->
+  result_bytes:('b -> int) ->
+  worker:('a -> 'b) ->
+  'a list option ->
+  'b list option
+(** Master/worker farm with dynamic scheduling: processor 0 hands one task
+    at a time to each idle worker (ANY_SOURCE result collection), so uneven
+    task costs balance automatically.  Tasks are supplied on processor 0;
+    results return on processor 0 in task order.  With a single processor
+    the master computes everything itself. *)

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Calibration Collectives Cost_model Darray Distribution Gauss List Machine Matmul Option Parix_c Printf Series Shortest_paths Skeletons Topology Workload

@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: Cost_model Machine Series Topology

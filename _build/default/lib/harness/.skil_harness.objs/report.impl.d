@@ -1,0 +1,1 @@
+lib/harness/report.ml: Buffer Experiments Filename List Option Printf Series Table

@@ -1,0 +1,1 @@
+lib/harness/series.ml: Array Buffer Float List Printf String

@@ -1,0 +1,355 @@
+let seed = 1996
+
+let time_of profile topology f =
+  (Machine.run ~cost:(Cost_model.make profile) ~topology f).Machine.time
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: shortest paths on sqrtp x sqrtp tori, n ~ 200              *)
+
+type sp_row = {
+  sqrtp : int;
+  sp_n : int;
+  sp_skil : float;
+  sp_dpfl : float option;
+  sp_parix_old : float option;
+}
+
+let paper_table1 =
+  [
+    (2, Some 1524.22, 234.29, Some 259.49);
+    (3, None, 107.69, None);
+    (4, Some 387.23, 60.78, Some 65.79);
+    (5, None, 39.56, None);
+    (6, Some 185.13, 29.70, Some 31.53);
+    (7, None, 21.83, None);
+    (8, Some 98.76, 16.34, Some 16.92);
+  ]
+
+let sp_run ctx ~n =
+  let weight = Workload.graph_weight ~seed ~n ~max_weight:100 in
+  let a = Shortest_paths.run ctx ~n ~weight in
+  Skeletons.destroy ctx a
+
+let table1 ?(quick = false) () =
+  let base_n = if quick then 36 else 200 in
+  let sqrtps = if quick then [ 2; 3; 4 ] else [ 2; 3; 4; 5; 6; 7; 8 ] in
+  let comparison_points = if quick then [ 2; 4 ] else [ 2; 4; 6; 8 ] in
+  List.map
+    (fun q ->
+      let n = Shortest_paths.adjusted_n ~n:base_n ~q in
+      let torus = Topology.torus2d ~width:q ~height:q () in
+      let sp_skil = time_of Cost_model.skil torus (fun ctx -> sp_run ctx ~n) in
+      let measured_comparators = List.mem q comparison_points in
+      let sp_dpfl =
+        if measured_comparators then
+          Some (time_of Cost_model.dpfl torus (fun ctx -> sp_run ctx ~n))
+        else None
+      in
+      let sp_parix_old =
+        if measured_comparators then
+          let naive =
+            Topology.torus2d ~embedding_optimized:false ~width:q ~height:q ()
+          in
+          Some
+            (time_of Cost_model.parix_c_old naive (fun ctx ->
+                 ignore
+                   (Parix_c.shortest_paths ctx ~n
+                      ~weight:(Workload.graph_weight ~seed ~n ~max_weight:100))))
+        else None
+      in
+      { sqrtp = q; sp_n = n; sp_skil; sp_dpfl; sp_parix_old })
+    sqrtps
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: Gaussian elimination without pivot search                  *)
+
+type gauss_cell = {
+  g_n : int;
+  g_skil : float;
+  g_dpfl : float option;
+  g_parix : float;
+}
+
+type gauss_row = { grid : int * int; cells : gauss_cell list }
+
+let paper_table2 =
+  [
+    ( (2, 2),
+      [
+        (64, 2.06, Some 6.17, 2.40);
+        (128, 14.77, Some 6.52, 2.51);
+        (256, 113.29, Some 6.65, 2.60);
+        (384, 377.62, Some 6.69, 2.64);
+      ] );
+    ( (4, 4),
+      [
+        (64, 0.91, Some 4.82, 1.57);
+        (128, 4.83, Some 5.73, 1.73);
+        (256, 32.06, Some 6.22, 2.02);
+        (384, 102.16, Some 6.40, 2.20);
+        (512, 236.13, Some 6.48, 2.31);
+        (640, 453.86, None, 2.38);
+      ] );
+    ( (8, 4),
+      [
+        (64, 0.85, Some 3.87, 1.25);
+        (128, 3.49, Some 4.88, 1.24);
+        (256, 19.42, Some 5.62, 1.45);
+        (384, 58.03, Some 5.96, 1.65);
+        (512, 129.89, Some 6.12, 1.78);
+        (640, 244.77, Some 6.24, 1.90);
+      ] );
+    ( (8, 8),
+      [
+        (64, 0.85, Some 3.48, 1.04);
+        (128, 2.94, Some 4.17, 0.94);
+        (256, 13.57, Some 4.78, 1.03);
+        (384, 37.03, Some 5.21, 1.15);
+        (512, 78.71, Some 5.47, 1.26);
+        (640, 143.28, Some 5.68, 1.37);
+      ] );
+  ]
+
+let gauss_run ctx ~n =
+  let matrix = Workload.gauss_matrix ~seed ~n in
+  let b = Gauss.run ctx ~n ~matrix in
+  Skeletons.destroy ctx b
+
+(* The paper's measurement grid: the 2x2 network stops at n = 384 ("larger
+   problem sizes could only be fitted into larger networks" — two n x (n+1)
+   float arrays per 4 processors exceed 1 MB/node beyond that), and no DPFL
+   figure is reported for (4x4, n = 640). *)
+let full_cells =
+  [
+    ((2, 2), [ 64; 128; 256; 384 ]);
+    ((4, 4), [ 64; 128; 256; 384; 512; 640 ]);
+    ((8, 4), [ 64; 128; 256; 384; 512; 640 ]);
+    ((8, 8), [ 64; 128; 256; 384; 512; 640 ]);
+  ]
+
+let dpfl_measured (w, h) n = not ((w, h) = (4, 4) && n = 640)
+
+let quick_cells = [ ((2, 2), [ 32; 64 ]); ((4, 2), [ 32; 64 ]) ]
+
+let table2 ?(quick = false) () =
+  let grid_spec = if quick then quick_cells else full_cells in
+  List.map
+    (fun ((w, h), ns) ->
+      let topo = Topology.mesh ~width:w ~height:h in
+      let cells =
+        List.map
+          (fun n ->
+            let g_skil =
+              time_of Cost_model.skil topo (fun ctx -> gauss_run ctx ~n)
+            in
+            let g_dpfl =
+              if dpfl_measured (w, h) n then
+                Some (time_of Cost_model.dpfl topo (fun ctx -> gauss_run ctx ~n))
+              else None
+            in
+            let g_parix =
+              time_of Cost_model.parix_c topo (fun ctx ->
+                  ignore
+                    (Parix_c.gauss ctx ~n
+                       ~matrix:(Workload.gauss_matrix ~seed ~n)))
+            in
+            { g_n = n; g_skil; g_dpfl; g_parix })
+          ns
+      in
+      { grid = (w, h); cells })
+    grid_spec
+
+let figure1 rows =
+  let ns =
+    List.sort_uniq compare
+      (List.concat_map (fun r -> List.map (fun c -> c.g_n) r.cells) rows)
+  in
+  let series_for f =
+    List.filter_map
+      (fun n ->
+        let points =
+          List.filter_map
+            (fun r ->
+              let w, h = r.grid in
+              let p = float_of_int (w * h) in
+              match List.find_opt (fun c -> c.g_n = n) r.cells with
+              | Some c -> Option.map (fun y -> (p, y)) (f c)
+              | None -> None)
+            rows
+        in
+        if points = [] then None
+        else Some { Series.label = Printf.sprintf "n = %d" n; points })
+      ns
+  in
+  let speedups =
+    series_for (fun c -> Option.map (fun d -> d /. c.g_skil) c.g_dpfl)
+  in
+  let slowdowns = series_for (fun c -> Some (c.g_skil /. c.g_parix)) in
+  (speedups, slowdowns)
+
+(* ------------------------------------------------------------------ *)
+(* Claim 5.1: equally optimized matmul, Skil vs C                      *)
+
+type claim51_row = { m_n : int; m_skil : float; m_parix : float }
+
+let claim51 ?(quick = false) () =
+  let cases =
+    if quick then [ (2, 32) ] else [ (4, 128); (4, 256); (8, 256); (8, 512) ]
+  in
+  List.map
+    (fun (q, n) ->
+      let torus = Topology.torus2d ~width:q ~height:q () in
+      let af = Workload.float_matrix ~seed and bf = Workload.float_matrix ~seed:(seed + 9) in
+      let m_skil =
+        time_of Cost_model.skil torus (fun ctx ->
+            Skeletons.destroy ctx (Matmul.run ctx ~n ~a:af ~b:bf))
+      in
+      let m_parix =
+        time_of Cost_model.parix_c torus (fun ctx ->
+            ignore (Parix_c.matmul ctx ~n ~a:af ~b:bf))
+      in
+      { m_n = n; m_skil; m_parix })
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Claim 5.2: complete Gauss vs the no-pivot-search version            *)
+
+type claim52_row = {
+  c2_grid : int * int;
+  c2_n : int;
+  c2_partial : float;
+  c2_full : float;
+}
+
+let claim52 ?(quick = false) () =
+  let cases =
+    if quick then [ ((2, 2), 32) ]
+    else [ ((4, 4), 128); ((4, 4), 256); ((8, 4), 256); ((8, 8), 384) ]
+  in
+  List.map
+    (fun ((w, h), n) ->
+      let topo = Topology.mesh ~width:w ~height:h in
+      let matrix = Workload.gauss_matrix_wild ~seed ~n in
+      let run pivoting ctx =
+        Skeletons.destroy ctx (Gauss.run ~pivoting ctx ~n ~matrix)
+      in
+      {
+        c2_grid = (w, h);
+        c2_n = n;
+        c2_partial =
+          time_of Cost_model.skil topo (run Gauss.No_pivot_search);
+        c2_full = time_of Cost_model.skil topo (run Gauss.Partial);
+      })
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Strong scaling                                                      *)
+
+type scaling_row = {
+  sc_procs : int;
+  sc_time : float;
+  sc_speedup : float;
+  sc_efficiency : float;
+}
+
+let scaling ?(quick = false) () =
+  let n = if quick then 32 else 128 in
+  let weight = Workload.graph_weight ~seed ~n ~max_weight:100 in
+  let qs = if quick then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ] in
+  let time q =
+    time_of Cost_model.skil
+      (Topology.torus2d ~width:q ~height:q ())
+      (fun ctx -> Skeletons.destroy ctx (Shortest_paths.run ctx ~n ~weight))
+  in
+  let base = time 1 in
+  List.map
+    (fun q ->
+      let t = time q in
+      let p = q * q in
+      {
+        sc_procs = p;
+        sc_time = t;
+        sc_speedup = base /. t;
+        sc_efficiency = base /. t /. float_of_int p;
+      })
+    qs
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+
+type ablation = {
+  ab_name : string;
+  ab_baseline : string;
+  ab_time_baseline : float;
+  ab_variant : string;
+  ab_time_variant : float;
+}
+
+let ablations ?(quick = false) () =
+  (* communication-sensitive configuration: small partitions on a larger
+     grid, so topology distance and overlap actually show up *)
+  let q = if quick then 4 else 8 in
+  let n = if quick then 16 else 64 in
+  let weight = Workload.graph_weight ~seed ~n ~max_weight:100 in
+  let torus = Topology.torus2d ~width:q ~height:q () in
+  let naive = Topology.torus2d ~embedding_optimized:false ~width:q ~height:q () in
+  let sp profile topo =
+    time_of profile topo (fun ctx ->
+        Skeletons.destroy ctx (Shortest_paths.run ctx ~n ~weight))
+  in
+  let sync_skil = { Cost_model.skil with Cost_model.sync_comm = true } in
+  let gauss_n = if quick then 32 else 128 in
+  let mesh = Topology.mesh ~width:q ~height:(if quick then 2 else 4) in
+  let gauss_time profile =
+    time_of profile mesh (fun ctx -> gauss_run ctx ~n:gauss_n)
+  in
+  ignore naive;
+  (* A Gauss-like triangular sweep (iteration k touches only rows >= k):
+     with the paper's block distribution the live rows concentrate on the
+     last processors, while the future-work cyclic layout keeps every sweep
+     balanced.  Real elimination work is charged per live local row. *)
+  let triangular scheme =
+    let nt = if quick then 48 else 192 in
+    let m = nt + 1 in
+    time_of Cost_model.skil mesh (fun ctx ->
+        let a =
+          Skeletons.create ctx ~scheme ~gsize:[| nt; m |]
+            ~distr:Darray.Default (fun _ -> 0.0)
+        in
+        let me = Machine.self ctx in
+        let tag = Machine.tags ctx 1 in
+        let reg = (Darray.part a ~rank:me).Darray.region in
+        for k = 0 to nt - 1 do
+          let live = ref 0 in
+          Distribution.region_iter reg (fun ix ->
+              if ix.(1) = 0 && ix.(0) >= k then incr live);
+          Machine.charge ctx Cost_model.Mapped ~ops:(!live * m)
+            ~base:Calibration.gauss_elem_op;
+          (* the pivot broadcast synchronizes every iteration *)
+          Collectives.barrier ctx ~tag
+        done;
+        Skeletons.destroy ctx a)
+  in
+  [
+    {
+      ab_name = "cyclic distribution (triangular sweep)";
+      ab_baseline = "block-cyclic rows (extension)";
+      ab_time_baseline = triangular Distribution.Cyclic;
+      ab_variant = "block rows (paper)";
+      ab_time_variant = triangular Distribution.Block;
+    };
+    {
+      ab_name = "communication overlap (shpaths)";
+      ab_baseline = "asynchronous sends";
+      ab_time_baseline = sp Cost_model.skil torus;
+      ab_variant = "synchronous sends";
+      ab_time_variant = sp sync_skil torus;
+    };
+    {
+      ab_name = "translation by instantiation (gauss)";
+      ab_baseline = "instantiated (Skil)";
+      ab_time_baseline = gauss_time Cost_model.skil;
+      ab_variant = "closure-based (DPFL model)";
+      ab_time_variant = gauss_time Cost_model.dpfl;
+    };
+  ]

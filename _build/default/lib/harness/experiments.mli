@@ -1,0 +1,89 @@
+(** Runners that regenerate every table and figure of the paper's evaluation
+    (section 5).  All times are simulated seconds on the modeled Parsytec MC;
+    [quick] shrinks problem sizes for tests and smoke runs. *)
+
+(** {1 Table 1 — shortest paths} *)
+
+type sp_row = {
+  sqrtp : int;  (** network is sqrtp x sqrtp *)
+  sp_n : int;  (** node count after rounding up to a multiple of sqrtp *)
+  sp_skil : float;
+  sp_dpfl : float option;  (** measured only at sqrtp in {2,4,6,8} *)
+  sp_parix_old : float option;
+}
+
+val table1 : ?quick:bool -> unit -> sp_row list
+
+val paper_table1 : (int * float option * float * float option) list
+(** [(sqrtp, dpfl, skil, old_c)] as published. *)
+
+(** {1 Table 2 / Figure 1 — Gaussian elimination} *)
+
+type gauss_cell = {
+  g_n : int;
+  g_skil : float;
+  g_dpfl : float option;
+  g_parix : float;
+}
+
+type gauss_row = { grid : int * int; cells : gauss_cell list }
+
+val table2 : ?quick:bool -> unit -> gauss_row list
+
+val paper_table2 : ((int * int) * (int * float * float option * float) list) list
+(** [(grid, [(n, skil, dpfl_over_skil, skil_over_c)])] as published. *)
+
+val figure1 : gauss_row list -> Series.t list * Series.t list
+(** Left plot (speedups Skil vs DPFL) and right plot (slow-downs Skil vs C),
+    one series per matrix size, x = processor count — derived from the
+    Table 2 runs exactly as in the paper. *)
+
+(** {1 Section 5 prose claims} *)
+
+type claim51_row = { m_n : int; m_skil : float; m_parix : float }
+
+val claim51 : ?quick:bool -> unit -> claim51_row list
+(** Equally-optimized comparison: classical matrix multiplication, Skil's
+    [array_gen_mult] vs hand-written Cannon in C ("around 20% slower"). *)
+
+type claim52_row = {
+  c2_grid : int * int;
+  c2_n : int;
+  c2_partial : float;
+  c2_full : float;
+}
+
+val claim52 : ?quick:bool -> unit -> claim52_row list
+(** Complete Gauss (pivot search + exchange) vs the Table 2 variant
+    ("about twice as long"). *)
+
+(** {1 Strong scaling (ours)} *)
+
+type scaling_row = {
+  sc_procs : int;
+  sc_time : float;
+  sc_speedup : float;  (** vs the single-processor run *)
+  sc_efficiency : float;
+}
+
+val scaling : ?quick:bool -> unit -> scaling_row list
+(** Fixed-size shortest paths across growing square tori — the classic
+    strong-scaling view the paper's tables imply but never plot. *)
+
+(** {1 Ablations of the design choices} *)
+
+type ablation = {
+  ab_name : string;
+  ab_baseline : string;
+  ab_time_baseline : float;
+  ab_variant : string;
+  ab_time_variant : float;
+}
+
+val ablations : ?quick:bool -> unit -> ablation list
+
+(** {1 Shared helpers} *)
+
+val time_of :
+  Cost_model.profile -> Topology.t -> (Machine.ctx -> 'a) -> float
+(** Makespan of one SPMD run under a language profile. *)

@@ -1,0 +1,256 @@
+(* Rendering of the reproduced tables and figures (shared by bench/main
+   and bin/repro). *)
+
+let fmt = Table.fmt_time
+let ratio = Table.fmt_ratio
+let opt = Table.fmt_opt
+
+(* ------------------------------------------------------------------ *)
+
+let print_table1 ~quick () =
+  print_endline "== Table 1: shortest paths in graphs (n ~ 200) ==";
+  if quick then
+    print_endline "   (quick mode: n ~ 36, sqrt p in {2,3,4} — shapes only)";
+  let rows = Experiments.table1 ~quick () in
+  let paper q =
+    List.find_opt (fun (q', _, _, _) -> q' = q) Experiments.paper_table1
+  in
+  let body =
+    List.map
+      (fun r ->
+        let q = r.Experiments.sqrtp in
+        let dpfl_ratio =
+          Option.map (fun d -> d /. r.Experiments.sp_skil) r.Experiments.sp_dpfl
+        in
+        let oldc_ratio =
+          Option.map
+            (fun c -> r.Experiments.sp_skil /. c)
+            r.Experiments.sp_parix_old
+        in
+        let p_skil, p_dpfl_ratio, p_oldc_ratio =
+          match paper q with
+          | Some (_, dpfl, skil, oldc) when not quick ->
+              ( fmt skil,
+                opt (fun d -> ratio (d /. skil)) dpfl,
+                opt (fun c -> ratio (skil /. c)) oldc )
+          | _ -> ("-", "-", "-")
+        in
+        [
+          string_of_int q ^ "x" ^ string_of_int q;
+          string_of_int r.Experiments.sp_n;
+          fmt r.Experiments.sp_skil;
+          p_skil;
+          opt ratio dpfl_ratio;
+          p_dpfl_ratio;
+          opt ratio oldc_ratio;
+          p_oldc_ratio;
+        ])
+      rows
+  in
+  print_string
+    (Table.render
+       ~headers:
+         [
+           "procs"; "n"; "Skil(s)"; "[paper]"; "DPFL/Skil"; "[paper]";
+           "Skil/oldC"; "[paper]";
+         ]
+       body);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+let paper_gauss_cell grid n =
+  match List.assoc_opt grid Experiments.paper_table2 with
+  | None -> None
+  | Some cells -> List.find_opt (fun (n', _, _, _) -> n' = n) cells
+
+let print_table2_rows rows ~quick =
+  List.iter
+    (fun row ->
+      let w, h = row.Experiments.grid in
+      Printf.printf "-- network %dx%d (%d processors) --\n" w h (w * h);
+      let body =
+        List.map
+          (fun c ->
+            let skil = c.Experiments.g_skil in
+            let dpfl_ratio =
+              Option.map (fun d -> d /. skil) c.Experiments.g_dpfl
+            in
+            let p =
+              if quick then None else paper_gauss_cell (w, h) c.Experiments.g_n
+            in
+            [
+              string_of_int c.Experiments.g_n;
+              fmt skil;
+              opt (fun (_, s, _, _) -> fmt s) p;
+              opt ratio dpfl_ratio;
+              opt (fun (_, _, d, _) -> opt ratio d) p;
+              ratio (skil /. c.Experiments.g_parix);
+              opt (fun (_, _, _, r) -> ratio r) p;
+            ])
+          row.Experiments.cells
+      in
+      print_string
+        (Table.render
+           ~headers:
+             [
+               "n"; "Skil(s)"; "[paper]"; "DPFL/Skil"; "[paper]"; "Skil/C";
+               "[paper]";
+             ]
+           body))
+    rows
+
+let print_table2 rows ~quick =
+  print_endline "== Table 2: Gaussian elimination (no pivot search) ==";
+  if quick then print_endline "   (quick mode: reduced sizes — shapes only)";
+  print_table2_rows rows ~quick;
+  print_newline ()
+
+let print_figure1 rows =
+  print_endline
+    "== Figure 1: Skil vs DPFL (left) and Skil vs Parix-C (right) ==";
+  let speedups, slowdowns = Experiments.figure1 rows in
+  print_string
+    (Series.plot ~title:"Figure 1 (left): relative speed-ups Skil vs DPFL"
+       ~xlabel:"processors" ~ylabel:"speed-up" speedups);
+  print_newline ();
+  print_string
+    (Series.plot ~title:"Figure 1 (right): relative slow-downs Skil vs C"
+       ~xlabel:"processors" ~ylabel:"slow-down" slowdowns);
+  print_newline ();
+  print_endline "-- figure data (csv) --";
+  print_endline "(left)";
+  print_string (Series.to_csv speedups);
+  print_endline "(right)";
+  print_string (Series.to_csv slowdowns);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+let print_claim51 ~quick () =
+  print_endline
+    "== Claim (section 5.1): equally optimized matmul, Skil vs Parix-C ==";
+  print_endline
+    "   paper: \"Skil times around 20% slower than direct C times\"";
+  let rows = Experiments.claim51 ~quick () in
+  let body =
+    List.map
+      (fun r ->
+        [
+          string_of_int r.Experiments.m_n;
+          fmt r.Experiments.m_skil;
+          fmt r.Experiments.m_parix;
+          ratio (r.Experiments.m_skil /. r.Experiments.m_parix);
+        ])
+      rows
+  in
+  print_string
+    (Table.render ~headers:[ "n"; "Skil(s)"; "C(s)"; "Skil/C" ] body);
+  print_newline ()
+
+let print_claim52 ~quick () =
+  print_endline
+    "== Claim (section 5.2): complete gauss vs no-pivot-search version ==";
+  print_endline "   paper: \"run-times about twice as long\"";
+  let rows = Experiments.claim52 ~quick () in
+  let body =
+    List.map
+      (fun r ->
+        let w, h = r.Experiments.c2_grid in
+        [
+          Printf.sprintf "%dx%d" w h;
+          string_of_int r.Experiments.c2_n;
+          fmt r.Experiments.c2_partial;
+          fmt r.Experiments.c2_full;
+          ratio (r.Experiments.c2_full /. r.Experiments.c2_partial);
+        ])
+      rows
+  in
+  print_string
+    (Table.render
+       ~headers:[ "procs"; "n"; "partial(s)"; "full(s)"; "full/partial" ]
+       body);
+  print_newline ()
+
+let print_ablations ~quick () =
+  print_endline "== Ablations: design choices called out in the paper ==";
+  let rows = Experiments.ablations ~quick () in
+  let body =
+    List.map
+      (fun a ->
+        [
+          a.Experiments.ab_name;
+          a.Experiments.ab_baseline;
+          fmt a.Experiments.ab_time_baseline;
+          a.Experiments.ab_variant;
+          fmt a.Experiments.ab_time_variant;
+          ratio
+            (a.Experiments.ab_time_variant /. a.Experiments.ab_time_baseline);
+        ])
+      rows
+  in
+  print_string
+    (Table.render
+       ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Left ]
+       ~headers:
+         [ "ablation"; "baseline"; "metric"; "variant"; "metric"; "ratio" ]
+       body);
+  print_newline ()
+
+
+let print_scaling ~quick () =
+  print_endline "== Strong scaling (ours): shortest paths, fixed n ==";
+  let rows = Experiments.scaling ~quick () in
+  let body =
+    List.map
+      (fun r ->
+        [
+          string_of_int r.Experiments.sc_procs;
+          fmt r.Experiments.sc_time;
+          ratio r.Experiments.sc_speedup;
+          Printf.sprintf "%.0f%%" (100.0 *. r.Experiments.sc_efficiency);
+        ])
+      rows
+  in
+  print_string
+    (Table.render ~headers:[ "procs"; "time(s)"; "speedup"; "efficiency" ]
+       body);
+  print_newline ()
+
+(* machine-readable exports of the reproduced evaluation *)
+let write_csvs ~dir t1 t2 =
+  let file name render =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc render;
+    close_out oc
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "sqrtp,n,skil_s,dpfl_s,parix_old_s\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%.4f,%s,%s\n" r.Experiments.sqrtp
+           r.Experiments.sp_n r.Experiments.sp_skil
+           (opt (Printf.sprintf "%.4f") r.Experiments.sp_dpfl)
+           (opt (Printf.sprintf "%.4f") r.Experiments.sp_parix_old)))
+    t1;
+  file "table1.csv" (Buffer.contents buf);
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "grid_w,grid_h,n,skil_s,dpfl_s,parix_s\n";
+  List.iter
+    (fun row ->
+      let w, h = row.Experiments.grid in
+      List.iter
+        (fun c ->
+          Buffer.add_string buf
+            (Printf.sprintf "%d,%d,%d,%.4f,%s,%.4f\n" w h
+               c.Experiments.g_n c.Experiments.g_skil
+               (opt (Printf.sprintf "%.4f") c.Experiments.g_dpfl)
+               c.Experiments.g_parix))
+        row.Experiments.cells)
+    t2;
+  file "table2.csv" (Buffer.contents buf);
+  let speedups, slowdowns = Experiments.figure1 t2 in
+  file "figure1_left.csv" (Series.to_csv speedups);
+  file "figure1_right.csv" (Series.to_csv slowdowns);
+  Printf.printf "csv files written to %s\n\n" dir

@@ -1,0 +1,70 @@
+type t = { label : string; points : (float * float) list }
+
+let markers = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&' |]
+
+let bounds series =
+  let xs = List.concat_map (fun s -> List.map fst s.points) series in
+  let ys = List.concat_map (fun s -> List.map snd s.points) series in
+  match (xs, ys) with
+  | [], _ | _, [] -> None
+  | _ ->
+      let lo l = List.fold_left Float.min (List.hd l) l in
+      let hi l = List.fold_left Float.max (List.hd l) l in
+      Some (lo xs, hi xs, Float.min 0.0 (lo ys), hi ys)
+
+let plot ?(width = 60) ?(height = 16) ~title ~xlabel ~ylabel series =
+  match bounds series with
+  | None -> title ^ "\n(no data)\n"
+  | Some (x0, x1, y0, y1) ->
+      let xspan = if x1 > x0 then x1 -. x0 else 1.0 in
+      let yspan = if y1 > y0 then y1 -. y0 else 1.0 in
+      let grid = Array.make_matrix height width ' ' in
+      List.iteri
+        (fun si s ->
+          let m = markers.(si mod Array.length markers) in
+          List.iter
+            (fun (x, y) ->
+              let cx =
+                int_of_float ((x -. x0) /. xspan *. float_of_int (width - 1))
+              in
+              let cy =
+                height - 1
+                - int_of_float ((y -. y0) /. yspan *. float_of_int (height - 1))
+              in
+              if cx >= 0 && cx < width && cy >= 0 && cy < height then
+                grid.(cy).(cx) <- m)
+            s.points)
+        series;
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf (title ^ "\n");
+      Buffer.add_string buf
+        (Printf.sprintf "%s: %.2f .. %.2f (top to bottom)\n" ylabel y1 y0);
+      Array.iter
+        (fun row ->
+          Buffer.add_string buf "  |";
+          Array.iter (Buffer.add_char buf) row;
+          Buffer.add_char buf '\n')
+        grid;
+      Buffer.add_string buf ("  +" ^ String.make width '-' ^ "\n");
+      Buffer.add_string buf
+        (Printf.sprintf "   %s: %.0f .. %.0f\n" xlabel x0 x1);
+      List.iteri
+        (fun si s ->
+          Buffer.add_string buf
+            (Printf.sprintf "   %c = %s\n"
+               markers.(si mod Array.length markers)
+               s.label))
+        series;
+      Buffer.contents buf
+
+let to_csv series =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "series,x,y\n";
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (x, y) ->
+          Buffer.add_string buf (Printf.sprintf "%s,%g,%.4f\n" s.label x y))
+        s.points)
+    series;
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(** Figure reproduction as data series plus a rough ASCII rendering (the
+    paper's Figure 1 plots speedups/slow-downs against processor count). *)
+
+type t = { label : string; points : (float * float) list }
+
+val plot :
+  ?width:int ->
+  ?height:int ->
+  title:string ->
+  xlabel:string ->
+  ylabel:string ->
+  t list ->
+  string
+(** Scatter the series into a character grid; each series is drawn with its
+    own marker and listed in a legend. *)
+
+val to_csv : t list -> string
+(** ["label,x,y"] lines, one per point — the machine-readable form of the
+    figure. *)

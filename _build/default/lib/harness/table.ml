@@ -1,0 +1,40 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?aligns ~headers rows =
+  let ncols =
+    List.fold_left (fun acc r -> max acc (List.length r)) (List.length headers)
+      rows
+  in
+  let get l i = match List.nth_opt l i with Some s -> s | None -> "" in
+  let aligns =
+    match aligns with
+    | Some a -> Array.init ncols (fun i -> match List.nth_opt a i with Some x -> x | None -> Right)
+    | None -> Array.make ncols Right
+  in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      for i = 0 to ncols - 1 do
+        widths.(i) <- max widths.(i) (String.length (get row i))
+      done)
+    (headers :: rows);
+  let line row =
+    String.concat "  "
+      (List.init ncols (fun i -> pad aligns.(i) widths.(i) (get row i)))
+  in
+  let rule =
+    String.concat "--"
+      (List.init ncols (fun i -> String.make widths.(i) '-'))
+  in
+  String.concat "\n" (line headers :: rule :: List.map line rows) ^ "\n"
+
+let fmt_time t = Printf.sprintf "%.2f" t
+let fmt_ratio r = Printf.sprintf "%.2f" r
+let fmt_opt f = function Some v -> f v | None -> "-"

@@ -1,0 +1,14 @@
+(** Plain-text table rendering for the benchmark harness. *)
+
+type align = Left | Right
+
+val render :
+  ?aligns:align list -> headers:string list -> string list list -> string
+(** Monospaced table with a header rule.  Missing cells render empty;
+    [aligns] defaults to [Right] for every column. *)
+
+val fmt_time : float -> string
+(** Seconds with the precision the paper's tables use. *)
+
+val fmt_ratio : float -> string
+val fmt_opt : ('a -> string) -> 'a option -> string

@@ -1,0 +1,1 @@
+lib/lang/emit_c.ml: Ast Buffer List Option Printf String

@@ -1,0 +1,1 @@
+lib/lang/emit_c.mli: Ast

@@ -1,0 +1,1 @@
+lib/lang/instantiate.ml: Ast Hashtbl List Option Parser Printf String Typecheck

@@ -1,0 +1,1 @@
+lib/lang/instantiate.mli: Ast Typecheck

@@ -1,0 +1,1 @@
+lib/lang/interp.ml: Array Ast Buffer Calibration Cost_model Darray Float Hashtbl Index List Machine Option Printf Skeletons String Typecheck Value

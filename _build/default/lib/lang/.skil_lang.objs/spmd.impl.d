@@ -1,0 +1,1 @@
+lib/lang/spmd.ml: Instantiate Interp Machine Parser Typecheck Value

@@ -1,0 +1,1 @@
+lib/lang/spmd.mli: Ast Cost_model Machine Topology Value

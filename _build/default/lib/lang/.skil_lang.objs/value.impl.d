@@ -1,0 +1,1 @@
+lib/lang/value.ml: Array Char Darray Format Index List Printf String

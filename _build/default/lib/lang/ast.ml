@@ -1,0 +1,120 @@
+(* Abstract syntax of Skil: a C subset with type variables, higher-order
+   function parameters, partial application, operator sections and pardata
+   declarations (paper section 2). *)
+
+type typ =
+  | TInt
+  | TFloat
+  | TChar
+  | TVoid
+  | TString
+  | TVar of string  (* $t: rigid in definitions, instantiated at calls *)
+  | TNamed of string * typ list  (* typedef / struct / pardata applications *)
+  | TPtr of typ
+  | TFun of typ list * typ  (* function-typed parameters *)
+  | TIndex  (* the builtin Index / classical int array type *)
+  | TBounds  (* result of array_part_bounds *)
+  | TMeta of meta ref  (* unification variables (typechecker-internal) *)
+
+and meta = Unbound of int | Link of typ
+
+type expr = { desc : desc; line : int; mutable inst : (string * typ) list }
+(* [inst] is filled by the typechecker on Call/Var nodes that reference a
+   polymorphic function: the types its $-variables were instantiated with.
+   The instantiation pass consumes it. *)
+
+and desc =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Chr of char
+  | Var of string
+  | OpSection of string
+  | Call of expr * expr list
+  | Binop of string * expr * expr
+  | Unop of string * expr
+  | Assign of expr * expr
+  | Idx of expr * expr
+  | Field of expr * string
+  | Arrow of expr * string
+  | Deref of expr
+  | ArrayLit of expr list
+  | Cond of expr * expr * expr
+  | New of expr
+
+type stmt =
+  | SExpr of expr
+  | SDecl of typ * string * expr option
+  | SIf of expr * stmt list * stmt list
+  | SWhile of expr * stmt list
+  | SFor of stmt option * expr option * expr option * stmt list
+  | SReturn of expr option
+  | SBreak
+  | SContinue
+  | SBlock of stmt list
+
+type param = { p_type : typ; p_name : string }
+
+type func = {
+  f_ret : typ;
+  f_name : string;
+  f_params : param list;
+  f_body : stmt list option; (* None for prototypes *)
+}
+
+type struct_def = {
+  s_name : string;
+  s_params : string list;
+  s_fields : (typ * string) list;
+}
+
+type typedef = { td_name : string; td_params : string list; td_type : typ }
+type pardata_def = { pd_name : string; pd_params : string list }
+
+type top =
+  | TFunc of func
+  | TStruct of struct_def
+  | TTypedef of typedef
+  | TPardata of pardata_def
+
+type program = top list
+
+let mk ?(line = 0) desc = { desc; line; inst = [] }
+
+let rec type_to_string = function
+  | TInt -> "int"
+  | TFloat -> "float"
+  | TChar -> "char"
+  | TVoid -> "void"
+  | TString -> "string"
+  | TVar v -> "$" ^ v
+  | TNamed (n, []) -> n
+  | TNamed (n, args) ->
+      n ^ "<" ^ String.concat "," (List.map type_to_string args) ^ ">"
+  | TPtr t -> type_to_string t ^ " *"
+  | TFun (args, ret) ->
+      type_to_string ret ^ " (" ^ String.concat ", "
+        (List.map type_to_string args) ^ ")"
+  | TIndex -> "Index"
+  | TBounds -> "Bounds"
+  | TMeta { contents = Link t } -> type_to_string t
+  | TMeta { contents = Unbound n } -> Printf.sprintf "'_%d" n
+
+(* Structural fold over the types inside a statement list (used by the
+   instantiation pass to rewrite declarations). *)
+let rec map_stmt_types f = function
+  | SExpr e -> SExpr e
+  | SDecl (t, n, e) -> SDecl (f t, n, e)
+  | SIf (c, a, b) ->
+      SIf (c, List.map (map_stmt_types f) a, List.map (map_stmt_types f) b)
+  | SWhile (c, b) -> SWhile (c, List.map (map_stmt_types f) b)
+  | SFor (i, c, s, b) ->
+      SFor
+        ( Option.map (map_stmt_types f) i,
+          c,
+          s,
+          List.map (map_stmt_types f) b )
+  | SReturn e -> SReturn e
+  | SBreak -> SBreak
+  | SContinue -> SContinue
+  | SBlock b -> SBlock (List.map (map_stmt_types f) b)

@@ -1,0 +1,380 @@
+let runtime_header =
+  String.concat "\n"
+    [
+      "/* skil_runtime.h — interface of the precompiled parallel runtime";
+      "   (message-passing implementations of the section 3 skeletons,";
+      "   built on Parix virtual topologies).  Generic skeletons are";
+      "   instantiated per element type by the Skil compiler; the";
+      "   array_*_<n> instances emitted alongside a program are produced";
+      "   from these templates. */";
+      "#ifndef SKIL_RUNTIME_H";
+      "#define SKIL_RUNTIME_H";
+      "";
+      "typedef int *Index;   /* one value per array dimension */";
+      "typedef struct { Index lowerBd; Index upperBd; } *Bounds;";
+      "";
+      "#define DISTR_DEFAULT 0";
+      "#define DISTR_RING    1";
+      "#define DISTR_TORUS2D 2";
+      "";
+      "/* per-element-type instances are generated; the generic templates";
+      "   have the following shapes (T, T1, T2 stand for element types): */";
+      "/* Tarray array_create (int dim, Index size, Index blocksize,";
+      "                        Index lowerbd, T init_elem (Index),";
+      "                        int distr);                              */";
+      "/* void   array_destroy (Tarray a);                              */";
+      "/* void   array_map (T2 map_f (T1, Index), T1array from,";
+      "                     T2array to);                                */";
+      "/* T2     array_fold (T2 conv_f (T1, Index),";
+      "                      T2 fold_f (T2, T2), T1array a);            */";
+      "/* void   array_copy (Tarray from, Tarray to);                   */";
+      "/* void   array_broadcast_part (Tarray a, Index ix);             */";
+      "/* void   array_permute_rows (Tarray from, int perm_f (int),";
+      "                              Tarray to);                        */";
+      "/* void   array_gen_mult (Tarray a, Tarray b, T gen_add (T, T),";
+      "                          T gen_mult (T, T), Tarray c);          */";
+      "/* Bounds array_part_bounds (Tarray a);                          */";
+      "/* T      array_get_elem (Tarray a, Index ix);                   */";
+      "/* void   array_put_elem (Tarray a, Index ix, T newval);         */";
+      "";
+      "extern int procId;   /* this processor's rank */";
+      "extern int nProcs;   /* number of processors  */";
+      "";
+      "void print_int (int n);";
+      "void print_float (float f);";
+      "void print_string (char *s);";
+      "void print_char (char c);";
+      "void error (char *message);";
+      "void *skil_new (/* value */);   /* boxing allocator behind new() */";
+      "";
+      "#endif /* SKIL_RUNTIME_H */";
+      "";
+    ]
+
+let skeleton_names =
+  [
+    "array_create"; "array_destroy"; "array_map"; "array_fold"; "array_copy";
+    "array_broadcast_part"; "array_permute_rows"; "array_gen_mult";
+  ]
+
+(* ---------------- type mangling ---------------- *)
+
+let rec flat = function
+  | Ast.TInt -> "int"
+  | Ast.TFloat -> "float"
+  | Ast.TChar -> "char"
+  | Ast.TVoid -> "void"
+  | Ast.TString -> "string"
+  | Ast.TIndex -> "Index"
+  | Ast.TBounds -> "Bounds"
+  | Ast.TPtr t -> flat t ^ "p"
+  | Ast.TVar v -> "T" ^ v
+  | Ast.TMeta _ -> "int"
+  | Ast.TFun _ -> "fn"
+  | Ast.TNamed (n, []) -> strip n
+  | Ast.TNamed (n, args) ->
+      strip n ^ "_" ^ String.concat "_" (List.map flat args)
+
+and strip n =
+  match String.index_opt n ' ' with
+  | Some i -> String.sub n (i + 1) (String.length n - i - 1)
+  | None -> n
+
+let rec mangle_type = function
+  | Ast.TInt -> "int"
+  | Ast.TFloat -> "float"
+  | Ast.TChar -> "char"
+  | Ast.TVoid -> "void"
+  | Ast.TString -> "char *"
+  | Ast.TIndex -> "Index"
+  | Ast.TBounds -> "Bounds"
+  | Ast.TPtr t -> mangle_type t ^ " *"
+  | Ast.TVar v -> "/*$" ^ v ^ "*/void *"
+  | Ast.TMeta _ -> "int"
+  | Ast.TFun (_, _) -> "void *"
+  | Ast.TNamed ("array", [ t ]) -> flat t ^ "array"
+  | Ast.TNamed (n, []) -> n
+  | Ast.TNamed (n, args) when String.length n > 7 && String.sub n 0 7 = "struct "
+    ->
+      "struct " ^ strip n ^ "_" ^ String.concat "_" (List.map flat args)
+  | Ast.TNamed (n, args) -> n ^ "_" ^ String.concat "_" (List.map flat args)
+
+(* ---------------- type-instance collection ---------------- *)
+
+let rec collect_types acc t =
+  match t with
+  | Ast.TNamed (_, args) as t ->
+      let acc = if List.mem t acc then acc else acc @ [ t ] in
+      List.fold_left collect_types acc args
+  | Ast.TPtr t -> collect_types acc t
+  | Ast.TFun (args, ret) ->
+      collect_types (List.fold_left collect_types acc args) ret
+  | _ -> acc
+
+let rec stmt_types acc = function
+  | Ast.SDecl (t, _, _) -> collect_types acc t
+  | Ast.SIf (_, a, b) ->
+      List.fold_left stmt_types (List.fold_left stmt_types acc a) b
+  | Ast.SWhile (_, b) -> List.fold_left stmt_types acc b
+  | Ast.SFor (i, _, _, b) ->
+      let acc = match i with Some s -> stmt_types acc s | None -> acc in
+      List.fold_left stmt_types acc b
+  | Ast.SBlock b -> List.fold_left stmt_types acc b
+  | Ast.SExpr _ | Ast.SReturn _ | Ast.SBreak | Ast.SContinue -> acc
+
+let used_named_types program =
+  List.fold_left
+    (fun acc top ->
+      match top with
+      | Ast.TFunc f ->
+          let acc = collect_types acc f.Ast.f_ret in
+          let acc =
+            List.fold_left
+              (fun acc p -> collect_types acc p.Ast.p_type)
+              acc f.Ast.f_params
+          in
+          (match f.Ast.f_body with
+           | Some body -> List.fold_left stmt_types acc body
+           | None -> acc)
+      | _ -> acc)
+    [] program
+
+(* ---------------- expressions ---------------- *)
+
+type ectx = {
+  buf : Buffer.t;
+  mutable instances : (string * string) list; (* comment, signature line *)
+  mutable counter : int;
+}
+
+let float_literal f =
+  let s = Printf.sprintf "%g" f in
+  if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
+  then s
+  else s ^ ".0"
+
+let rec expr ec (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Int n -> string_of_int n
+  | Ast.Float f -> float_literal f
+  | Ast.Str s -> Printf.sprintf "%S" s
+  | Ast.Chr c -> Printf.sprintf "%C" c
+  | Ast.Var x -> x
+  | Ast.OpSection op -> Printf.sprintf "(%s)" op
+  | Ast.Call (f, args) -> call ec f args
+  | Ast.Binop (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr ec a) op (expr ec b)
+  | Ast.Unop (op, a) -> Printf.sprintf "(%s%s)" op (expr ec a)
+  | Ast.Assign (l, r) -> Printf.sprintf "%s = %s" (expr ec l) (expr ec r)
+  | Ast.Idx (a, i) -> Printf.sprintf "%s[%s]" (expr ec a) (expr ec i)
+  | Ast.Field (a, f) -> Printf.sprintf "%s.%s" (expr ec a) f
+  | Ast.Arrow (a, f) -> Printf.sprintf "%s->%s" (expr ec a) f
+  | Ast.Deref a -> Printf.sprintf "(*%s)" (expr ec a)
+  | Ast.ArrayLit es ->
+      "{" ^ String.concat "," (List.map (expr ec) es) ^ "}"
+  | Ast.Cond (c, a, b) ->
+      Printf.sprintf "(%s ? %s : %s)" (expr ec c) (expr ec a) (expr ec b)
+  | Ast.New a -> Printf.sprintf "skil_new(%s)" (expr ec a)
+
+(* Which argument positions of each skeleton are functional. *)
+and functional_positions = function
+  | "array_create" -> [ 4 ]
+  | "array_map" -> [ 0 ]
+  | "array_fold" -> [ 0; 1 ]
+  | "array_permute_rows" -> [ 1 ]
+  | "array_gen_mult" -> [ 2; 3 ]
+  | _ -> []
+
+(* A call of a skeleton whose functional arguments carry lifted data (i.e.
+   partial applications) or operators becomes a numbered first-order
+   instance with the lifted arguments in front — the paper's array_map_1
+   example.  Bare function names stay as they are: those "could be simulated
+   in C by passing pointers to functions" (section 2.1). *)
+and call ec f args =
+  match f.Ast.desc with
+  | Ast.Var name when List.mem name skeleton_names ->
+      let fpos = functional_positions name in
+      let funarg i (a : Ast.expr) =
+        if not (List.mem i fpos) then None
+        else
+          match a.Ast.desc with
+          | Ast.OpSection op -> Some (Printf.sprintf "(%s)" op, [])
+          | Ast.Call ({ Ast.desc = Ast.OpSection op; _ }, lifted) ->
+              Some (Printf.sprintf "(%s)" op, lifted)
+          | Ast.Call ({ Ast.desc = Ast.Var g; _ }, lifted) -> Some (g, lifted)
+          | _ -> None
+      in
+      let descrs = List.mapi (fun i a -> (a, funarg i a)) args in
+      let needs_instance =
+        List.exists
+          (function _, Some (g, lifted) -> lifted <> [] || g.[0] = '('
+                  | _, None -> false)
+          descrs
+      in
+      if not (needs_instance) then plain_call ec (expr ec f) args
+      else begin
+        ec.counter <- ec.counter + 1;
+        let iname = Printf.sprintf "%s_%d" name ec.counter in
+        let lifted_args =
+          List.concat_map
+            (function _, Some (_, lifted) -> List.map (expr ec) lifted
+                    | _, None -> [])
+            descrs
+        in
+        let data_args =
+          List.filter_map
+            (function _, Some _ -> None | a, None -> Some (expr ec a))
+            descrs
+        in
+        ec.instances <-
+          ( iname,
+            Printf.sprintf "instance of %s with %s inlined" name
+              (String.concat ", "
+                 (List.filter_map
+                    (function _, Some (g, _) -> Some g | _, None -> None)
+                    descrs)) )
+          :: ec.instances;
+        Printf.sprintf "%s (%s)" iname
+          (String.concat ", " (lifted_args @ data_args))
+      end
+  | _ -> plain_call ec (expr ec f) args
+
+and plain_call ec fstr args =
+  Printf.sprintf "%s (%s)" fstr (String.concat ", " (List.map (expr ec) args))
+
+(* ---------------- statements ---------------- *)
+
+let rec stmt ec indent s =
+  let pad = String.make indent ' ' in
+  match s with
+  | Ast.SExpr e -> pad ^ expr ec e ^ ";\n"
+  | Ast.SDecl (t, n, init) ->
+      pad ^ mangle_type t ^ " " ^ n
+      ^ (match init with Some e -> " = " ^ expr ec e | None -> "")
+      ^ ";\n"
+  | Ast.SIf (c, a, []) ->
+      pad ^ "if (" ^ expr ec c ^ ") {\n" ^ block ec (indent + 2) a ^ pad
+      ^ "}\n"
+  | Ast.SIf (c, a, b) ->
+      pad ^ "if (" ^ expr ec c ^ ") {\n" ^ block ec (indent + 2) a ^ pad
+      ^ "} else {\n" ^ block ec (indent + 2) b ^ pad ^ "}\n"
+  | Ast.SWhile (c, b) ->
+      pad ^ "while (" ^ expr ec c ^ ") {\n" ^ block ec (indent + 2) b ^ pad
+      ^ "}\n"
+  | Ast.SFor (i, c, stp, b) ->
+      let istr =
+        match i with
+        | Some (Ast.SDecl (t, n, Some e)) ->
+            mangle_type t ^ " " ^ n ^ " = " ^ expr ec e
+        | Some (Ast.SExpr e) -> expr ec e
+        | Some _ | None -> ""
+      in
+      pad ^ "for (" ^ istr ^ "; "
+      ^ (match c with Some c -> expr ec c | None -> "")
+      ^ "; "
+      ^ (match stp with Some s -> expr ec s | None -> "")
+      ^ ") {\n" ^ block ec (indent + 2) b ^ pad ^ "}\n"
+  | Ast.SReturn None -> pad ^ "return;\n"
+  | Ast.SReturn (Some e) -> pad ^ "return " ^ expr ec e ^ ";\n"
+  | Ast.SBreak -> pad ^ "break;\n"
+  | Ast.SContinue -> pad ^ "continue;\n"
+  | Ast.SBlock b -> pad ^ "{\n" ^ block ec (indent + 2) b ^ pad ^ "}\n"
+
+and block ec indent stmts = String.concat "" (List.map (stmt ec indent) stmts)
+
+(* ---------------- program ---------------- *)
+
+let find_struct program name =
+  List.find_map
+    (function
+      | Ast.TStruct s when s.Ast.s_name = name -> Some s
+      | _ -> None)
+    program
+
+let find_typedef program name =
+  List.find_map
+    (function
+      | Ast.TTypedef td when td.Ast.td_name = name -> Some td
+      | _ -> None)
+    program
+
+let rec subst_simple s = function
+  | Ast.TVar v as t -> (
+      match List.assoc_opt v s with Some t' -> t' | None -> t)
+  | Ast.TPtr t -> Ast.TPtr (subst_simple s t)
+  | Ast.TNamed (n, args) -> Ast.TNamed (n, List.map (subst_simple s) args)
+  | Ast.TFun (a, r) -> Ast.TFun (List.map (subst_simple s) a, subst_simple s r)
+  | t -> t
+
+let emit_type_instances buf program =
+  let used = used_named_types program in
+  List.iter
+    (fun t ->
+      match t with
+      | Ast.TNamed ("array", [ elem ]) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "typedef struct { /* hidden pardata implementation */ } \
+                *%sarray;\n"
+               (flat elem))
+      | Ast.TNamed (n, args) -> (
+          match find_struct program n with
+          | Some sd when args <> [] ->
+              let s =
+                try List.combine sd.Ast.s_params args
+                with Invalid_argument _ -> []
+              in
+              Buffer.add_string buf (mangle_type t ^ " {\n");
+              List.iter
+                (fun (ft, fname) ->
+                  Buffer.add_string buf
+                    ("  " ^ mangle_type (subst_simple s ft) ^ " " ^ fname
+                   ^ ";\n"))
+                sd.Ast.s_fields;
+              Buffer.add_string buf "};\n"
+          | _ -> (
+              match find_typedef program n with
+              | Some td when args <> [] ->
+                  let s =
+                    try List.combine td.Ast.td_params args
+                    with Invalid_argument _ -> []
+                  in
+                  Buffer.add_string buf
+                    ("typedef "
+                    ^ mangle_type (subst_simple s td.Ast.td_type)
+                    ^ " " ^ mangle_type t ^ ";\n")
+              | _ -> ()))
+      | _ -> ())
+    used;
+  Buffer.add_char buf '\n'
+
+let program (prog : Ast.program) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "/* generated by the Skil compiler (translation by instantiation) */\n";
+  Buffer.add_string buf "#include \"skil_runtime.h\"\n\n";
+  emit_type_instances buf prog;
+  let ec = { buf; instances = []; counter = 0 } in
+  let bodies = Buffer.create 4096 in
+  List.iter
+    (function
+      | Ast.TFunc f when f.Ast.f_body <> None ->
+          let params =
+            String.concat ", "
+              (List.map
+                 (fun p -> mangle_type p.Ast.p_type ^ " " ^ p.Ast.p_name)
+                 f.Ast.f_params)
+          in
+          Buffer.add_string bodies
+            (Printf.sprintf "%s %s (%s) {\n%s}\n\n"
+               (mangle_type f.Ast.f_ret) f.Ast.f_name params
+               (block ec 2 (Option.get f.Ast.f_body)))
+      | _ -> ())
+    prog;
+  List.iter
+    (fun (iname, comment) ->
+      Buffer.add_string buf (Printf.sprintf "/* %s: %s */\n" iname comment))
+    (List.rev ec.instances);
+  Buffer.add_char buf '\n';
+  Buffer.add_buffer buf bodies;
+  Buffer.contents buf

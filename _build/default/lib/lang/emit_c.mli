@@ -1,0 +1,23 @@
+(** Back-end: pretty-print an instantiated (first-order, monomorphic) Skil
+    program as the message-passing C the paper's compiler would hand to the
+    C back end.
+
+    Polymorphic named types are mangled to monomorphic C names
+    ([array<float>] becomes [floatarray], [struct _list<int>] becomes
+    [struct _list_int], ...), the struct/typedef instances used by the
+    program are emitted first, and each call of a skeleton with functional
+    arguments is rewritten to a numbered instance with its lifted arguments
+    in front — the paper's [array_map (above_thresh (t), A, B)] to
+    [array_map_1 (t, A, B)] transformation.  The skeleton instance bodies
+    themselves live in the runtime library, as in the paper. *)
+
+val program : Ast.program -> string
+
+val mangle_type : Ast.typ -> string
+(** C rendering of a monomorphic type. *)
+
+val runtime_header : string
+(** The [skil_runtime.h] every emitted program includes: the Parix-backed
+    skeleton interface of section 3 (as the paper puts it, the skeletons
+    "contain the parallel code, e.g. based on message-passing" and are
+    linked in precompiled form). *)

@@ -1,0 +1,36 @@
+(** Translation by instantiation (paper section 2.4 and [Botorog & Kuchen,
+    CC '96]): turn a type-checked program with polymorphic higher-order
+    functions and partial applications into first-order monomorphic
+    functions.
+
+    - functional arguments of HOFs are inlined into specialized copies of
+      those HOFs;
+    - data arguments captured by partial applications are {e lifted}: they
+      become extra parameters of the specialization, evaluated at the call
+      site (the paper's [array_map_1 (t, A, B)] example);
+    - operator sections are inlined as operators;
+    - a polymorphic function becomes one monomorphic instance per
+      type/functional-argument combination occurring in the program.
+
+    Calls to the builtin skeletons remain (their bodies are precompiled
+    parallel code in the runtime, as in the paper), but their functional
+    arguments are reduced to direct references to generated first-order
+    functions.
+
+    The supported functional arguments are function names, operator
+    sections, and partial applications of either — the same restriction the
+    paper imposes on recursively defined HOFs. *)
+
+exception Unsupported of { line : int; message : string }
+
+val program :
+  Typecheck.env -> Ast.program -> entries:string list -> Ast.program
+(** Instantiate everything reachable from the named entry functions (which
+    must be monomorphic and first-order).  The result contains only
+    first-order monomorphic user functions; entry names are preserved.
+    @raise Unsupported when a functional argument is not expressible
+    (e.g. a run-time-computed function). *)
+
+val is_first_order : Ast.program -> bool
+(** True when no user function has functional parameters or type variables —
+    holds for every output of {!program} (checked in tests). *)

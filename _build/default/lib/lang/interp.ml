@@ -1,0 +1,457 @@
+open Value
+
+type state = {
+  funcs : (string, Ast.func) Hashtbl.t;
+  tyenv : Typecheck.env;
+  backend : [ `Seq | `Par of Machine.ctx ];
+  buf : Buffer.t;
+  mutable pending_ops : int;
+      (* expression nodes evaluated since the last flush; charged as Scalar
+         work on the simulated machine at statement granularity *)
+}
+
+exception Return_exc of Value.t
+exception Break_exc
+exception Continue_exc
+
+(* environments are association lists of mutable variable cells *)
+
+let make ?(backend = `Seq) ~tyenv program =
+  let funcs = Hashtbl.create 32 in
+  List.iter
+    (function
+      | Ast.TFunc f when f.Ast.f_body <> None ->
+          Hashtbl.replace funcs f.Ast.f_name f
+      | _ -> ())
+    program;
+  { funcs; tyenv; backend; buf = Buffer.create 256; pending_ops = 0 }
+
+let output st = Buffer.contents st.buf
+
+let rec default_value st (t : Ast.typ) =
+  match Typecheck.expand st.tyenv t with
+  | Ast.TInt -> VInt 0
+  | Ast.TFloat -> VFloat 0.0
+  | Ast.TChar -> VChar '\000'
+  | Ast.TString -> VStr ""
+  | Ast.TVoid -> VUnit
+  | Ast.TIndex -> VIndex [||]
+  | Ast.TBounds -> VBounds { Index.lower = [||]; upper = [||] }
+  | Ast.TPtr _ -> VNull
+  | Ast.TNamed (n, args) -> (
+      match Typecheck.struct_def st.tyenv n with
+      | Some sd ->
+          let subst =
+            try List.combine sd.Ast.s_params args with Invalid_argument _ ->
+              []
+          in
+          VStruct
+            {
+              s_tag = n;
+              s_vals =
+                List.map
+                  (fun (ft, fname) ->
+                    let ft =
+                      List.fold_left
+                        (fun t (v', a) ->
+                          if t = Ast.TVar v' then a else t)
+                        ft subst
+                    in
+                    (fname, ref (default_value st ft)))
+                  sd.Ast.s_fields;
+            }
+      | None -> VUnit)
+  | Ast.TVar _ | Ast.TMeta _ | Ast.TFun _ -> VUnit
+
+(* ---------------- arithmetic ---------------- *)
+
+let arith op a b =
+  match (op, a, b) with
+  | "+", VInt x, VInt y -> VInt (x + y)
+  | "-", VInt x, VInt y -> VInt (x - y)
+  | "*", VInt x, VInt y -> VInt (x * y)
+  | "/", VInt x, VInt y ->
+      if y = 0 then rte "division by zero" else VInt (x / y)
+  | "%", VInt x, VInt y ->
+      if y = 0 then rte "modulo by zero" else VInt (x mod y)
+  | "+", VFloat x, VFloat y -> VFloat (x +. y)
+  | "-", VFloat x, VFloat y -> VFloat (x -. y)
+  | "*", VFloat x, VFloat y -> VFloat (x *. y)
+  | "/", VFloat x, VFloat y -> VFloat (x /. y)
+  | _ ->
+      rte "invalid operands for %s: %s, %s" op (describe a) (describe b)
+
+let compare_values a b =
+  match (a, b) with
+  | VInt x, VInt y -> compare x y
+  | VFloat x, VFloat y -> compare x y
+  | VChar x, VChar y -> compare x y
+  | VStr x, VStr y -> compare x y
+  | VNull, VNull -> 0
+  | VNull, VPtr _ -> -1
+  | VPtr _, VNull -> 1
+  | VPtr x, VPtr y -> if x == y then 0 else 1
+  | _ -> rte "cannot compare %s and %s" (describe a) (describe b)
+
+let binop op a b =
+  match op with
+  | "+" | "-" | "*" | "/" | "%" -> arith op a b
+  | "==" -> VInt (if compare_values a b = 0 then 1 else 0)
+  | "!=" -> VInt (if compare_values a b <> 0 then 1 else 0)
+  | "<" -> VInt (if compare_values a b < 0 then 1 else 0)
+  | ">" -> VInt (if compare_values a b > 0 then 1 else 0)
+  | "<=" -> VInt (if compare_values a b <= 0 then 1 else 0)
+  | ">=" -> VInt (if compare_values a b >= 0 then 1 else 0)
+  | _ -> rte "unknown operator %s" op
+
+(* ---------------- builtins ---------------- *)
+
+let ctx_of st =
+  match st.backend with
+  | `Par ctx -> ctx
+  | `Seq -> rte "skeletons require parallel execution (use Spmd.run)"
+
+let flush_scalar st =
+  match st.backend with
+  | `Par ctx when st.pending_ops > 0 ->
+      Machine.charge ctx Cost_model.Scalar ~ops:st.pending_ops
+        ~base:Calibration.scalar_node_op;
+      st.pending_ops <- 0
+  | `Par _ | `Seq -> st.pending_ops <- 0
+
+let distr_of = function
+  | 0 -> Darray.Default
+  | 1 -> Darray.Ring
+  | 2 -> Darray.Torus2d
+  | d -> rte "unknown distribution code %d" d
+
+let rec apply st fv_value args =
+  match fv_value with
+  | VFun f -> apply_fun st f args
+  | v when args = [] -> v
+  | v -> rte "cannot apply %s" (describe v)
+
+and apply_fun st f args =
+    let supplied = f.fv_applied @ args in
+    let arity =
+      match f.fv_target with
+      | `Op _ -> 2
+      | `User name -> (
+          match Hashtbl.find_opt st.funcs name with
+          | Some fn -> List.length fn.Ast.f_params
+          | None -> rte "undefined function %s" name)
+      | `Builtin name -> (
+          match List.assoc_opt name Typecheck.builtins with
+          | Some sch -> List.length sch.Typecheck.sch_params
+          | None -> rte "unknown builtin %s" name)
+    in
+    if List.length supplied < arity then
+      VFun { f with fv_applied = supplied }
+    else if List.length supplied > arity then begin
+      (* curried over-application: call with exactly arity, re-apply rest *)
+      let rec split k = function
+        | rest when k = 0 -> ([], rest)
+        | [] -> ([], [])
+        | x :: rest ->
+            let a, b = split (k - 1) rest in
+            (x :: a, b)
+      in
+      let now, later = split arity supplied in
+      apply st (invoke st f.fv_target now) later
+    end
+    else invoke st f.fv_target supplied
+
+and invoke st target args =
+  match target with
+  | `Op op -> (
+      match args with
+      | [ a; b ] -> binop op a b
+      | _ -> rte "operator section applied to %d args" (List.length args))
+  | `User name -> (
+      match Hashtbl.find_opt st.funcs name with
+      | None -> rte "undefined function %s" name
+      | Some fn ->
+          let env =
+            List.map2
+              (fun p v -> (p.Ast.p_name, ref (copy v)))
+              fn.Ast.f_params args
+          in
+          let body = Option.get fn.Ast.f_body in
+          (try
+             exec_block st env body;
+             VUnit
+           with Return_exc v -> v))
+  | `Builtin name -> builtin st name args
+
+and builtin st name args =
+  (* sequential work done so far must hit the clock before any collective *)
+  if String.length name > 6 && String.sub name 0 6 = "array_" then
+    flush_scalar st;
+  match (name, args) with
+  | "print_int", [ VInt n ] ->
+      Buffer.add_string st.buf (string_of_int n);
+      VUnit
+  | "print_float", [ VFloat f ] ->
+      Buffer.add_string st.buf (Printf.sprintf "%g" f);
+      VUnit
+  | "print_string", [ VStr s ] ->
+      Buffer.add_string st.buf s;
+      VUnit
+  | "print_char", [ VChar c ] ->
+      Buffer.add_char st.buf c;
+      VUnit
+  | "error", [ VStr s ] -> rte "%s" s
+  | "min", [ a; b ] -> if compare_values a b <= 0 then a else b
+  | "max", [ a; b ] -> if compare_values a b >= 0 then a else b
+  | "abs", [ VInt n ] -> VInt (abs n)
+  | "fabs", [ VFloat f ] -> VFloat (Float.abs f)
+  | "sqrt", [ VFloat f ] -> VFloat (sqrt f)
+  | "log2", [ VInt n ] ->
+      let rec go k pow = if pow >= n then k else go (k + 1) (2 * pow) in
+      VInt (go 0 1)
+  | "itof", [ VInt n ] -> VFloat (float_of_int n)
+  | "ftoi", [ VFloat f ] -> VInt (int_of_float f)
+  (* skeletons (section 3) *)
+  | "array_create", [ VInt dim; VIndex size; VIndex _bs; VIndex _lb; init;
+                      VInt distr ] ->
+      let ctx = ctx_of st in
+      if Array.length size <> dim then rte "array_create: bad Size";
+      let f ix = Value.copy (apply st init [ VIndex (Array.copy ix) ]) in
+      VDarray
+        (Skeletons.create ctx ~gsize:(Array.copy size)
+           ~distr:(distr_of distr) f)
+  | "array_destroy", [ VDarray a ] ->
+      Skeletons.destroy (ctx_of st) a;
+      VUnit
+  | "array_map", [ f; VDarray src; VDarray dst ] ->
+      let g v ix = Value.copy (apply st f [ v; VIndex (Array.copy ix) ]) in
+      Skeletons.map (ctx_of st) g src dst;
+      VUnit
+  | "array_fold", [ conv; f; VDarray a ] ->
+      let c v ix = Value.copy (apply st conv [ v; VIndex (Array.copy ix) ]) in
+      let g x y = apply st f [ x; y ] in
+      Skeletons.fold (ctx_of st) ~conv:c g a
+  | "array_copy", [ VDarray src; VDarray dst ] ->
+      Skeletons.copy (ctx_of st) src dst;
+      VUnit
+  | "array_broadcast_part", [ VDarray a; VIndex ix ] ->
+      Skeletons.broadcast_part (ctx_of st) a ix;
+      VUnit
+  | "array_permute_rows", [ VDarray src; perm; VDarray dst ] ->
+      let p r = as_int (apply st perm [ VInt r ]) in
+      Skeletons.permute_rows (ctx_of st) src p dst;
+      VUnit
+  | "array_gen_mult", [ VDarray a; VDarray b; add; mul; VDarray c ] ->
+      let fadd x y = apply st add [ x; y ] in
+      let fmul x y = apply st mul [ x; y ] in
+      Skeletons.gen_mult (ctx_of st) ~add:fadd ~mul:fmul a b c;
+      VUnit
+  | "array_part_bounds", [ VDarray a ] ->
+      VBounds (Skeletons.part_bounds (ctx_of st) a)
+  | "array_get_elem", [ VDarray a; VIndex ix ] ->
+      Skeletons.get_elem (ctx_of st) a ix
+  | "array_put_elem", [ VDarray a; VIndex ix; v ] ->
+      Skeletons.put_elem (ctx_of st) a ix (Value.copy v);
+      VUnit
+  | _ ->
+      rte "builtin %s: bad arguments (%s)" name
+        (String.concat ", " (List.map describe args))
+
+and constant st name =
+  match (name, st.backend) with
+  (* the paper's "maximal integer value" standing for infinity, scaled so
+     that int_max + weight cannot overflow (same choice as Shortest_paths) *)
+  | "int_max", _ -> Some (VInt (max_int / 4))
+  | "procId", `Par ctx -> Some (VInt (Machine.self ctx))
+  | "procId", `Seq -> Some (VInt 0)
+  | "nProcs", `Par ctx -> Some (VInt (Machine.nprocs ctx))
+  | "nProcs", `Seq -> Some (VInt 1)
+  | "NULL", _ -> Some VNull
+  | "DISTR_DEFAULT", _ -> Some (VInt 0)
+  | "DISTR_RING", _ -> Some (VInt 1)
+  | "DISTR_TORUS2D", _ -> Some (VInt 2)
+  | _ -> None
+
+(* ---------------- expression evaluation ---------------- *)
+
+and lookup st env name =
+  match List.assoc_opt name env with
+  | Some r -> !r
+  | None -> (
+      match constant st name with
+      | Some v -> v
+      | None ->
+          if Hashtbl.mem st.funcs name then
+            VFun { fv_target = `User name; fv_applied = [] }
+          else if List.mem_assoc name Typecheck.builtins then
+            VFun { fv_target = `Builtin name; fv_applied = [] }
+          else rte "unbound identifier %s" name)
+
+and eval st env (e : Ast.expr) : Value.t =
+  st.pending_ops <- st.pending_ops + 1;
+  match e.Ast.desc with
+  | Ast.Int n -> VInt n
+  | Ast.Float f -> VFloat f
+  | Ast.Str s -> VStr s
+  | Ast.Chr c -> VChar c
+  | Ast.Var x -> lookup st env x
+  | Ast.OpSection op -> VFun { fv_target = `Op op; fv_applied = [] }
+  | Ast.Call (f, args) ->
+      let fv = eval st env f in
+      let argv = List.map (eval st env) args in
+      apply st fv argv
+  | Ast.Binop (("&&" | "||") as op, a, b) ->
+      (* short-circuit *)
+      let va = truthy (eval st env a) in
+      if op = "&&" then
+        if va then VInt (if truthy (eval st env b) then 1 else 0) else VInt 0
+      else if va then VInt 1
+      else VInt (if truthy (eval st env b) then 1 else 0)
+  | Ast.Binop (op, a, b) -> binop op (eval st env a) (eval st env b)
+  | Ast.Unop ("!", a) -> VInt (if truthy (eval st env a) then 0 else 1)
+  | Ast.Unop ("-", a) -> (
+      match eval st env a with
+      | VInt n -> VInt (-n)
+      | VFloat f -> VFloat (-.f)
+      | v -> rte "cannot negate %s" (describe v))
+  | Ast.Unop (op, _) -> rte "unknown unary operator %s" op
+  | Ast.Assign (l, r) ->
+      let v = Value.copy (eval st env r) in
+      assign st env l v;
+      v
+  | Ast.Idx (a, i) -> (
+      let arr = as_index (eval st env a) in
+      let i = as_int (eval st env i) in
+      match arr with
+      | arr when i >= 0 && i < Array.length arr -> VInt arr.(i)
+      | _ -> rte "Index access out of range (%d)" i)
+  | Ast.Field (s, f) -> field st (eval st env s) f
+  | Ast.Arrow (p, f) -> (
+      match eval st env p with
+      | VPtr r -> field st !r f
+      | VBounds b -> bounds_field b f
+      | VNull -> rte "dereference of NULL"
+      | v -> rte "-> applied to %s" (describe v))
+  | Ast.Deref p -> (
+      match eval st env p with
+      | VPtr r -> !r
+      | VNull -> rte "dereference of NULL"
+      | v -> rte "dereference of %s" (describe v))
+  | Ast.ArrayLit es ->
+      VIndex (Array.of_list (List.map (fun e -> as_int (eval st env e)) es))
+  | Ast.Cond (c, a, b) ->
+      if truthy (eval st env c) then eval st env a else eval st env b
+  | Ast.New e -> VPtr (ref (Value.copy (eval st env e)))
+
+and field st v f =
+  ignore st;
+  match v with
+  | VStruct s -> (
+      match List.assoc_opt f s.s_vals with
+      | Some r -> !r
+      | None -> rte "structure %s has no field %s" s.s_tag f)
+  | VBounds b -> bounds_field b f
+  | v -> rte "field access on %s" (describe v)
+
+and bounds_field b = function
+  | "lowerBd" -> VIndex (Array.copy b.Index.lower)
+  | "upperBd" ->
+      (* the paper's bounds are inclusive; ours are exclusive upper, so the
+         visible upperBd is upper-1 per dimension *)
+      VIndex (Array.map (fun u -> u - 1) b.Index.upper)
+  | f -> rte "Bounds has no field %s" f
+
+and assign st env (l : Ast.expr) v =
+  match l.Ast.desc with
+  | Ast.Var x -> (
+      match List.assoc_opt x env with
+      | Some r -> r := v
+      | None -> rte "cannot assign to %s" x)
+  | Ast.Idx (a, i) -> (
+      let arr = as_index (eval st env a) in
+      let i = as_int (eval st env i) in
+      if i >= 0 && i < Array.length arr then arr.(i) <- as_int v
+      else rte "Index assignment out of range (%d)" i)
+  | Ast.Field (s, f) -> (
+      match eval st env s with
+      | VStruct str -> (
+          match List.assoc_opt f str.s_vals with
+          | Some r -> r := v
+          | None -> rte "structure %s has no field %s" str.s_tag f)
+      | w -> rte "field assignment on %s" (describe w))
+  | Ast.Arrow (p, f) -> (
+      match eval st env p with
+      | VPtr r -> (
+          match !r with
+          | VStruct str -> (
+              match List.assoc_opt f str.s_vals with
+              | Some cell -> cell := v
+              | None -> rte "structure %s has no field %s" str.s_tag f)
+          | w -> rte "-> assignment on %s" (describe w))
+      | VNull -> rte "assignment through NULL"
+      | w -> rte "-> assignment on %s" (describe w))
+  | Ast.Deref p -> (
+      match eval st env p with
+      | VPtr r -> r := v
+      | VNull -> rte "assignment through NULL"
+      | w -> rte "assignment through %s" (describe w))
+  | _ -> rte "invalid assignment target"
+
+(* ---------------- statements ---------------- *)
+
+and exec st env stmt =
+  flush_scalar st;
+  exec_stmt st env stmt
+
+and exec_stmt st env = function
+  | Ast.SExpr e ->
+      ignore (eval st env e);
+      env
+  | Ast.SDecl (t, name, init) ->
+      let v =
+        match init with
+        | Some e -> Value.copy (eval st env e)
+        | None -> default_value st t
+      in
+      (name, ref v) :: env
+  | Ast.SIf (c, a, b) ->
+      if truthy (eval st env c) then exec_block st env a
+      else exec_block st env b;
+      env
+  | Ast.SWhile (c, body) ->
+      (try
+         while truthy (eval st env c) do
+           try exec_block st env body with Continue_exc -> ()
+         done
+       with Break_exc -> ());
+      env
+  | Ast.SFor (init, cond, step, body) ->
+      let env' = match init with Some s -> exec st env s | None -> env in
+      let check () =
+        match cond with Some c -> truthy (eval st env' c) | None -> true
+      in
+      (try
+         while check () do
+           (try exec_block st env' body with Continue_exc -> ());
+           match step with
+           | Some e -> ignore (eval st env' e)
+           | None -> ()
+         done
+       with Break_exc -> ());
+      env
+  | Ast.SReturn None -> raise (Return_exc VUnit)
+  | Ast.SReturn (Some e) -> raise (Return_exc (Value.copy (eval st env e)))
+  | Ast.SBreak -> raise Break_exc
+  | Ast.SContinue -> raise Continue_exc
+  | Ast.SBlock b ->
+      exec_block st env b;
+      env
+
+and exec_block st env stmts = ignore (List.fold_left (exec st) env stmts)
+
+let call st name args =
+  if Hashtbl.mem st.funcs name then
+    apply st (VFun { fv_target = `User name; fv_applied = [] }) args
+  else if List.mem_assoc name Typecheck.builtins then
+    apply st (VFun { fv_target = `Builtin name; fv_applied = [] }) args
+  else rte "undefined function %s" name

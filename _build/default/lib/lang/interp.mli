@@ -1,0 +1,33 @@
+(** Reference interpreter for Skil.
+
+    Dynamically typed evaluation of (type-checked) programs, supporting the
+    full language incl. higher-order functions, currying, partial
+    application and operator sections — so it can execute both source
+    programs and the first-order output of the instantiation pass, which is
+    what the semantics-preservation tests compare.
+
+    The skeleton builtins of paper section 3 need a simulated machine
+    context; they are available when the state is created with [`Par ctx]
+    (see {!Spmd}) and raise {!Value.Skil_runtime_error} in sequential
+    mode. *)
+
+type state
+
+val make :
+  ?backend:[ `Seq | `Par of Machine.ctx ] ->
+  tyenv:Typecheck.env ->
+  Ast.program ->
+  state
+
+val call : state -> string -> Value.t list -> Value.t
+(** Invoke a program function (or builtin) by name.  Partial application
+    returns a function value. *)
+
+val apply : state -> Value.t -> Value.t list -> Value.t
+(** Apply a function value (used by skeleton callbacks). *)
+
+val output : state -> string
+(** Everything printed through the print_* builtins so far. *)
+
+val default_value : state -> Ast.typ -> Value.t
+(** The C zero value of a type (what uninitialized locals start as). *)

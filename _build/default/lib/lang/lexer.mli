@@ -1,0 +1,10 @@
+(** Hand-written lexer for the Skil surface syntax. *)
+
+exception Error of { line : int; col : int; message : string }
+
+val tokenize : string -> Token.located list
+(** Turn a source string into tokens ending with [EOF].  Comments are
+    [/* ... */] and [// ...].  Operator sections like [(+)] and [(<=)] are
+    recognized as single tokens (whitespace between the parentheses and the
+    operator is allowed).
+    @raise Error on malformed input. *)

@@ -1,0 +1,583 @@
+exception Error of { line : int; col : int; message : string }
+
+type state = {
+  toks : Token.located array;
+  mutable pos : int;
+  mutable typenames : string list;
+      (* names introduced by typedef/struct/pardata, plus builtins; needed to
+         tell declarations from expression statements, as in every C parser *)
+}
+
+let builtin_typenames = [ "Index"; "Bounds"; "array" ]
+
+let cur st = st.toks.(st.pos)
+let tok st = (cur st).Token.tok
+
+let error st message =
+  let { Token.line; col; _ } = cur st in
+  raise (Error { line; col; message })
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let expect st t =
+  if tok st = t then advance st
+  else
+    error st
+      (Printf.sprintf "expected %s, found %s" (Token.describe t)
+         (Token.describe (tok st)))
+
+let expect_punct st s = expect st (Token.PUNCT s)
+
+let ident st =
+  match tok st with
+  | Token.IDENT s ->
+      advance st;
+      s
+  | _ -> error st "expected identifier"
+
+let line st = (cur st).Token.line
+let mk st desc = Ast.mk ~line:(line st) desc
+
+(* ---------------- types ---------------- *)
+
+let is_type_start st =
+  match tok st with
+  | Token.KW ("int" | "float" | "double" | "char" | "void" | "unsigned"
+             | "struct") ->
+      true
+  | Token.TYVAR _ -> true
+  | Token.IDENT s -> List.mem s st.typenames
+  | _ -> false
+
+let rec parse_type st =
+  let base =
+    match tok st with
+    | Token.KW "unsigned" ->
+        advance st;
+        (match tok st with
+         | Token.KW ("int" | "char") -> advance st
+         | _ -> ());
+        Ast.TInt
+    | Token.KW "int" ->
+        advance st;
+        Ast.TInt
+    | Token.KW ("float" | "double") ->
+        advance st;
+        Ast.TFloat
+    | Token.KW "char" ->
+        advance st;
+        Ast.TChar
+    | Token.KW "void" ->
+        advance st;
+        Ast.TVoid
+    | Token.TYVAR v ->
+        advance st;
+        Ast.TVar v
+    | Token.KW "struct" ->
+        advance st;
+        let name = "struct " ^ ident st in
+        let args = parse_type_args st in
+        Ast.TNamed (name, args)
+    | Token.IDENT "Index" ->
+        advance st;
+        Ast.TIndex
+    | Token.IDENT "Bounds" ->
+        advance st;
+        Ast.TBounds
+    | Token.IDENT s when List.mem s st.typenames ->
+        advance st;
+        let args = parse_type_args st in
+        Ast.TNamed (s, args)
+    | _ -> error st "expected a type"
+  in
+  let rec stars t =
+    if tok st = Token.PUNCT "*" then begin
+      advance st;
+      stars (Ast.TPtr t)
+    end
+    else t
+  in
+  stars base
+
+and parse_type_args st =
+  if tok st = Token.PUNCT "<" then begin
+    advance st;
+    let rec go acc =
+      let t = parse_type st in
+      match tok st with
+      | Token.PUNCT "," ->
+          advance st;
+          go (t :: acc)
+      | Token.PUNCT ">" ->
+          advance st;
+          List.rev (t :: acc)
+      | _ -> error st "expected ',' or '>' in type arguments"
+    in
+    go []
+  end
+  else []
+
+let parse_type_params st =
+  (* <$t, $u> after a struct/typedef/pardata name *)
+  if tok st = Token.PUNCT "<" then begin
+    advance st;
+    let rec go acc =
+      match tok st with
+      | Token.TYVAR v -> (
+          advance st;
+          match tok st with
+          | Token.PUNCT "," ->
+              advance st;
+              go (v :: acc)
+          | Token.PUNCT ">" ->
+              advance st;
+              List.rev (v :: acc)
+          | _ -> error st "expected ',' or '>' in type parameters")
+      | _ -> error st "expected a type variable"
+    in
+    go []
+  end
+  else []
+
+(* ---------------- expressions ---------------- *)
+
+let rec parse_expr_st st = parse_assign st
+
+and parse_assign st =
+  let lhs = parse_cond st in
+  match tok st with
+  | Token.PUNCT "=" ->
+      advance st;
+      let rhs = parse_assign st in
+      mk st (Ast.Assign (lhs, rhs))
+  | Token.PUNCT (("+=" | "-=" | "*=" | "/=" | "%=") as op) ->
+      (* compound assignment desugars to the plain operator *)
+      advance st;
+      let rhs = parse_assign st in
+      mk st
+        (Ast.Assign (lhs, mk st (Ast.Binop (String.sub op 0 1, lhs, rhs))))
+  | _ -> lhs
+
+and parse_cond st =
+  let c = parse_binop st 0 in
+  if tok st = Token.PUNCT "?" then begin
+    advance st;
+    let a = parse_assign st in
+    expect_punct st ":";
+    let b = parse_cond st in
+    mk st (Ast.Cond (c, a, b))
+  end
+  else c
+
+and binop_levels =
+  [|
+    [ "||" ];
+    [ "&&" ];
+    [ "=="; "!=" ];
+    [ "<"; ">"; "<="; ">=" ];
+    [ "+"; "-" ];
+    [ "*"; "/"; "%" ];
+  |]
+
+and parse_binop st level =
+  if level >= Array.length binop_levels then parse_unary st
+  else begin
+    let lhs = ref (parse_binop st (level + 1)) in
+    let continue_ = ref true in
+    while !continue_ do
+      match tok st with
+      | Token.PUNCT p when List.mem p binop_levels.(level) ->
+          advance st;
+          let rhs = parse_binop st (level + 1) in
+          lhs := mk st (Ast.Binop (p, !lhs, rhs))
+      | _ -> continue_ := false
+    done;
+    !lhs
+  end
+
+and parse_unary st =
+  match tok st with
+  | Token.PUNCT "!" ->
+      advance st;
+      mk st (Ast.Unop ("!", parse_unary st))
+  | Token.PUNCT "-" ->
+      advance st;
+      mk st (Ast.Unop ("-", parse_unary st))
+  | Token.PUNCT "*" ->
+      advance st;
+      mk st (Ast.Deref (parse_unary st))
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match tok st with
+    | Token.PUNCT "(" ->
+        advance st;
+        let args = parse_args st in
+        e := mk st (Ast.Call (!e, args))
+    | Token.PUNCT "[" ->
+        advance st;
+        let i = parse_expr_st st in
+        expect_punct st "]";
+        e := mk st (Ast.Idx (!e, i))
+    | Token.PUNCT "." ->
+        advance st;
+        e := mk st (Ast.Field (!e, ident st))
+    | Token.PUNCT "->" ->
+        advance st;
+        e := mk st (Ast.Arrow (!e, ident st))
+    | Token.PUNCT "++" ->
+        advance st;
+        let one = mk st (Ast.Int 1) in
+        e := mk st (Ast.Assign (!e, mk st (Ast.Binop ("+", !e, one))))
+    | Token.PUNCT "--" ->
+        advance st;
+        let one = mk st (Ast.Int 1) in
+        e := mk st (Ast.Assign (!e, mk st (Ast.Binop ("-", !e, one))))
+    | _ -> continue_ := false
+  done;
+  !e
+
+and parse_args st =
+  if tok st = Token.PUNCT ")" then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec go acc =
+      let a = parse_assign st in
+      match tok st with
+      | Token.PUNCT "," ->
+          advance st;
+          go (a :: acc)
+      | Token.PUNCT ")" ->
+          advance st;
+          List.rev (a :: acc)
+      | _ -> error st "expected ',' or ')' in arguments"
+    in
+    go []
+  end
+
+and parse_primary st =
+  match tok st with
+  | Token.INT n ->
+      advance st;
+      mk st (Ast.Int n)
+  | Token.FLOAT f ->
+      advance st;
+      mk st (Ast.Float f)
+  | Token.STRING s ->
+      advance st;
+      mk st (Ast.Str s)
+  | Token.CHAR c ->
+      advance st;
+      mk st (Ast.Chr c)
+  | Token.OPSECTION op ->
+      advance st;
+      mk st (Ast.OpSection op)
+  | Token.IDENT name ->
+      advance st;
+      mk st (Ast.Var name)
+  | Token.KW "new" ->
+      advance st;
+      expect_punct st "(";
+      let e = parse_expr_st st in
+      expect_punct st ")";
+      mk st (Ast.New e)
+  | Token.PUNCT "(" ->
+      advance st;
+      let e = parse_expr_st st in
+      expect_punct st ")";
+      e
+  | Token.PUNCT "{" ->
+      advance st;
+      let rec go acc =
+        let e = parse_assign st in
+        match tok st with
+        | Token.PUNCT "," ->
+            advance st;
+            go (e :: acc)
+        | Token.PUNCT "}" ->
+            advance st;
+            List.rev (e :: acc)
+        | _ -> error st "expected ',' or '}' in array literal"
+      in
+      mk st (Ast.ArrayLit (go []))
+  | _ -> error st ("unexpected token " ^ Token.describe (tok st))
+
+(* ---------------- statements ---------------- *)
+
+let rec parse_stmt st =
+  match tok st with
+  | Token.PUNCT ";" ->
+      advance st;
+      Ast.SBlock []
+  | Token.PUNCT "{" -> Ast.SBlock (parse_block st)
+  | Token.KW "if" ->
+      advance st;
+      expect_punct st "(";
+      let c = parse_expr_st st in
+      expect_punct st ")";
+      let then_ = parse_stmt_as_block st in
+      let else_ =
+        if tok st = Token.KW "else" then begin
+          advance st;
+          parse_stmt_as_block st
+        end
+        else []
+      in
+      Ast.SIf (c, then_, else_)
+  | Token.KW "while" ->
+      advance st;
+      expect_punct st "(";
+      let c = parse_expr_st st in
+      expect_punct st ")";
+      Ast.SWhile (c, parse_stmt_as_block st)
+  | Token.KW "for" ->
+      advance st;
+      expect_punct st "(";
+      let init =
+        if tok st = Token.PUNCT ";" then begin
+          advance st;
+          None
+        end
+        else begin
+          let s = parse_simple_stmt st in
+          expect_punct st ";";
+          Some s
+        end
+      in
+      let cond =
+        if tok st = Token.PUNCT ";" then None else Some (parse_expr_st st)
+      in
+      expect_punct st ";";
+      let step =
+        if tok st = Token.PUNCT ")" then None else Some (parse_expr_st st)
+      in
+      expect_punct st ")";
+      Ast.SFor (init, cond, step, parse_stmt_as_block st)
+  | Token.KW "return" ->
+      advance st;
+      let e =
+        if tok st = Token.PUNCT ";" then None else Some (parse_expr_st st)
+      in
+      expect_punct st ";";
+      Ast.SReturn e
+  | Token.KW "break" ->
+      advance st;
+      expect_punct st ";";
+      Ast.SBreak
+  | Token.KW "continue" ->
+      advance st;
+      expect_punct st ";";
+      Ast.SContinue
+  | _ ->
+      let s = parse_simple_stmt st in
+      expect_punct st ";";
+      s
+
+and parse_simple_stmt st =
+  if is_type_start st then begin
+    let t = parse_type st in
+    let name = ident st in
+    let init =
+      if tok st = Token.PUNCT "=" then begin
+        advance st;
+        Some (parse_expr_st st)
+      end
+      else None
+    in
+    Ast.SDecl (t, name, init)
+  end
+  else Ast.SExpr (parse_expr_st st)
+
+and parse_stmt_as_block st =
+  match parse_stmt st with Ast.SBlock b -> b | s -> [ s ]
+
+and parse_block st =
+  expect_punct st "{";
+  let rec go acc =
+    if tok st = Token.PUNCT "}" then begin
+      advance st;
+      List.rev acc
+    end
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+(* ---------------- top level ---------------- *)
+
+let parse_param st =
+  let t = parse_type st in
+  let name = ident st in
+  if tok st = Token.PUNCT "(" then begin
+    (* function-typed parameter: int is_trivial ($a) *)
+    advance st;
+    let rec go acc =
+      if tok st = Token.PUNCT ")" then begin
+        advance st;
+        List.rev acc
+      end
+      else begin
+        let at = parse_type st in
+        (* parameter names inside functional types are allowed and ignored *)
+        (match tok st with Token.IDENT _ -> advance st | _ -> ());
+        match tok st with
+        | Token.PUNCT "," ->
+            advance st;
+            go (at :: acc)
+        | Token.PUNCT ")" ->
+            advance st;
+            List.rev (at :: acc)
+        | _ -> error st "expected ',' or ')' in functional parameter"
+      end
+    in
+    let args = go [] in
+    { Ast.p_type = Ast.TFun (args, t); p_name = name }
+  end
+  else { Ast.p_type = t; p_name = name }
+
+let parse_params st =
+  expect_punct st "(";
+  if tok st = Token.PUNCT ")" then begin
+    advance st;
+    []
+  end
+  else if tok st = Token.KW "void" && st.toks.(st.pos + 1).Token.tok = Token.PUNCT ")"
+  then begin
+    advance st;
+    advance st;
+    []
+  end
+  else begin
+    let rec go acc =
+      let p = parse_param st in
+      match tok st with
+      | Token.PUNCT "," ->
+          advance st;
+          go (p :: acc)
+      | Token.PUNCT ")" ->
+          advance st;
+          List.rev (p :: acc)
+      | _ -> error st "expected ',' or ')' in parameters"
+    in
+    go []
+  end
+
+(* Collect $t variables appearing free in field types, in order (the paper
+   writes struct _list {$t elem; ...} without an explicit parameter list). *)
+let rec tyvars_of acc = function
+  | Ast.TVar v -> if List.mem v acc then acc else acc @ [ v ]
+  | Ast.TPtr t -> tyvars_of acc t
+  | Ast.TNamed (_, args) -> List.fold_left tyvars_of acc args
+  | Ast.TFun (args, ret) -> tyvars_of (List.fold_left tyvars_of acc args) ret
+  | Ast.TInt | Ast.TFloat | Ast.TChar | Ast.TVoid | Ast.TString | Ast.TIndex
+  | Ast.TBounds | Ast.TMeta _ ->
+      acc
+
+let parse_struct st =
+  expect st (Token.KW "struct");
+  let name = "struct " ^ ident st in
+  let params = parse_type_params st in
+  expect_punct st "{";
+  let rec fields acc =
+    if tok st = Token.PUNCT "}" then begin
+      advance st;
+      List.rev acc
+    end
+    else begin
+      let t = parse_type st in
+      let fname = ident st in
+      expect_punct st ";";
+      fields ((t, fname) :: acc)
+    end
+  in
+  let fs = fields [] in
+  expect_punct st ";";
+  let params =
+    if params <> [] then params
+    else List.fold_left (fun acc (t, _) -> tyvars_of acc t) [] fs
+  in
+  st.typenames <- name :: st.typenames;
+  { Ast.s_name = name; s_params = params; s_fields = fs }
+
+(* Distinguish `struct s {...};` / `struct s<$t> {...};` (a definition) from
+   `struct s<...> f(...)` (a return type) by scanning past the optional
+   type-parameter list. *)
+let struct_def_ahead st =
+  match (tok st, st.toks.(st.pos + 1).Token.tok) with
+  | Token.KW "struct", Token.IDENT _ -> (
+      match st.toks.(st.pos + 2).Token.tok with
+      | Token.PUNCT "{" -> true
+      | Token.PUNCT "<" ->
+          let rec scan i depth =
+            match st.toks.(i).Token.tok with
+            | Token.PUNCT "<" -> scan (i + 1) (depth + 1)
+            | Token.PUNCT ">" ->
+                if depth = 1 then
+                  st.toks.(i + 1).Token.tok = Token.PUNCT "{"
+                else scan (i + 1) (depth - 1)
+            | Token.EOF -> false
+            | _ -> scan (i + 1) depth
+          in
+          scan (st.pos + 2) 0
+      | _ -> false)
+  | _ -> false
+
+let parse_top st =
+  match tok st with
+  | Token.KW "struct" when struct_def_ahead st ->
+      Ast.TStruct (parse_struct st)
+  | Token.KW "typedef" ->
+      advance st;
+      let t = parse_type st in
+      let name = ident st in
+      let params = parse_type_params st in
+      let params = if params <> [] then params else tyvars_of [] t in
+      expect_punct st ";";
+      st.typenames <- name :: st.typenames;
+      Ast.TTypedef { Ast.td_name = name; td_params = params; td_type = t }
+  | Token.KW "pardata" ->
+      advance st;
+      let name = ident st in
+      let params = parse_type_params st in
+      (* an optional hidden implementation type may follow; skip it *)
+      if tok st <> Token.PUNCT ";" then ignore (parse_type st);
+      expect_punct st ";";
+      st.typenames <- name :: st.typenames;
+      Ast.TPardata { Ast.pd_name = name; pd_params = params }
+  | _ ->
+      let ret = parse_type st in
+      let name = ident st in
+      let params = parse_params st in
+      if tok st = Token.PUNCT ";" then begin
+        advance st;
+        Ast.TFunc { Ast.f_ret = ret; f_name = name; f_params = params;
+                    f_body = None }
+      end
+      else
+        Ast.TFunc
+          { Ast.f_ret = ret; f_name = name; f_params = params;
+            f_body = Some (parse_block st) }
+
+let make_state src =
+  {
+    toks = Array.of_list (Lexer.tokenize src);
+    pos = 0;
+    typenames = builtin_typenames;
+  }
+
+let parse src =
+  let st = make_state src in
+  let rec go acc =
+    if tok st = Token.EOF then List.rev acc else go (parse_top st :: acc)
+  in
+  go []
+
+let parse_expr src =
+  let st = make_state src in
+  let e = parse_expr_st st in
+  if tok st <> Token.EOF then error st "trailing input after expression";
+  e

@@ -1,0 +1,14 @@
+(** Recursive-descent parser for the Skil surface syntax. *)
+
+exception Error of { line : int; col : int; message : string }
+
+val parse : string -> Ast.program
+(** Parse a full compilation unit.
+    @raise Error (or {!Lexer.Error}) on malformed input. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (tests and the REPL-ish tooling). *)
+
+val tyvars_of : string list -> Ast.typ -> string list
+(** Append the $-variables free in a type, in order of first appearance
+    (used to infer implicit type-parameter lists). *)

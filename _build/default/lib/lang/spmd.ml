@@ -1,0 +1,18 @@
+type outcome = { value : Value.t; printed : string }
+
+let run ?cost ?(instantiate = true) ~topology program ~entry ~args =
+  let tyenv = Typecheck.check program in
+  let program, tyenv =
+    if instantiate then begin
+      let inst = Instantiate.program tyenv program ~entries:[ entry ] in
+      (inst, Typecheck.check inst)
+    end
+    else (program, tyenv)
+  in
+  Machine.run ?cost ~topology (fun ctx ->
+      let st = Interp.make ~backend:(`Par ctx) ~tyenv program in
+      let value = Interp.call st entry args in
+      { value; printed = Interp.output st })
+
+let run_source ?cost ?instantiate ~topology source ~entry ~args =
+  run ?cost ?instantiate ~topology (Parser.parse source) ~entry ~args

@@ -1,0 +1,32 @@
+(** Execute Skil programs on the simulated distributed machine.
+
+    Every processor interprets the same program (SPMD), and the skeleton
+    builtins of section 3 execute as collectives on the machine — this is
+    the full pipeline of the paper: Skil source in, parallel behaviour and
+    simulated runtimes out. *)
+
+type outcome = { value : Value.t; printed : string }
+
+val run :
+  ?cost:Cost_model.t ->
+  ?instantiate:bool ->
+  topology:Topology.t ->
+  Ast.program ->
+  entry:string ->
+  args:Value.t list ->
+  outcome Machine.result
+(** Type-check is assumed done (pass the program through {!Typecheck.check}
+    first via {!run_source} or explicitly).  When [instantiate] is true
+    (default), the program is first translated by instantiation, exactly as
+    the Skil compiler would, and the first-order result is executed.
+    [printed] collects the calling processor's print_* output. *)
+
+val run_source :
+  ?cost:Cost_model.t ->
+  ?instantiate:bool ->
+  topology:Topology.t ->
+  string ->
+  entry:string ->
+  args:Value.t list ->
+  outcome Machine.result
+(** Parse + type-check + {!run}. *)

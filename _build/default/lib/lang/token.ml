@@ -1,0 +1,38 @@
+(* Tokens of the Skil surface language: a C subset extended with type
+   variables ($t), angle-bracket type arguments, pardata declarations and
+   operator sections. *)
+
+type t =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | CHAR of char
+  | IDENT of string
+  | TYVAR of string (* $t *)
+  | KW of string (* if, else, while, for, return, struct, typedef, pardata,
+                    int, float, char, void, break, continue, new *)
+  | PUNCT of string (* ( ) { } [ ] ; , . -> < > = == != <= >= + - * / % && ||
+                       ! & ? : ++ -- *)
+  | OPSECTION of string (* "(+)" lexed as a single token *)
+  | EOF
+
+type located = { tok : t; line : int; col : int }
+
+let keywords =
+  [
+    "if"; "else"; "while"; "for"; "return"; "struct"; "typedef"; "pardata";
+    "int"; "float"; "double"; "char"; "void"; "break"; "continue"; "new";
+    "unsigned";
+  ]
+
+let describe = function
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "%S" s
+  | CHAR c -> Printf.sprintf "%C" c
+  | IDENT s -> s
+  | TYVAR s -> "$" ^ s
+  | KW s -> s
+  | PUNCT s -> s
+  | OPSECTION s -> "(" ^ s ^ ")"
+  | EOF -> "<eof>"

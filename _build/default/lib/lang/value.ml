@@ -1,0 +1,92 @@
+(* Runtime values of the Skil interpreter.  Structs have C value semantics
+   (copied on assignment/parameter passing); Index literals behave as small
+   value arrays; pointers are mutable cells created by new(). *)
+
+type t =
+  | VUnit
+  | VInt of int
+  | VFloat of float
+  | VStr of string
+  | VChar of char
+  | VIndex of int array
+  | VBounds of Index.bounds
+  | VNull
+  | VPtr of t ref
+  | VStruct of vstruct
+  | VFun of vfun
+  | VDarray of t Darray.t
+
+and vstruct = { s_tag : string; s_vals : (string * t ref) list }
+
+and vfun = {
+  fv_target : [ `User of string | `Builtin of string | `Op of string ];
+  fv_applied : t list; (* arguments supplied so far (currying) *)
+}
+
+exception Skil_runtime_error of string
+
+let rte fmt = Printf.ksprintf (fun m -> raise (Skil_runtime_error m)) fmt
+
+(* C value semantics: copy structs (recursively) and Index arrays. *)
+let rec copy = function
+  | VStruct s ->
+      VStruct
+        {
+          s with
+          s_vals = List.map (fun (n, r) -> (n, ref (copy !r))) s.s_vals;
+        }
+  | VIndex a -> VIndex (Array.copy a)
+  | ( VUnit | VInt _ | VFloat _ | VStr _ | VChar _ | VBounds _ | VNull
+    | VPtr _ | VFun _ | VDarray _ ) as v ->
+      v
+
+let describe = function
+  | VUnit -> "void"
+  | VInt n -> string_of_int n
+  | VFloat f -> Printf.sprintf "%g" f
+  | VStr s -> Printf.sprintf "%S" s
+  | VChar c -> Printf.sprintf "%C" c
+  | VIndex a ->
+      "{"
+      ^ String.concat "," (Array.to_list (Array.map string_of_int a))
+      ^ "}"
+  | VBounds b -> Format.asprintf "%a" Index.pp_bounds b
+  | VNull -> "NULL"
+  | VPtr _ -> "<pointer>"
+  | VStruct s -> "<" ^ s.s_tag ^ ">"
+  | VFun f ->
+      let name =
+        match f.fv_target with
+        | `User n | `Builtin n -> n
+        | `Op op -> "(" ^ op ^ ")"
+      in
+      Printf.sprintf "<fun %s/%d>" name (List.length f.fv_applied)
+  | VDarray _ -> "<array>"
+
+let truthy = function
+  | VInt 0 | VNull -> false
+  | VInt _ | VPtr _ -> true
+  | VFloat f -> f <> 0.0
+  | VChar c -> c <> '\000'
+  | v -> rte "condition is not a scalar (%s)" (describe v)
+
+let as_int = function
+  | VInt n -> n
+  | VChar c -> Char.code c
+  | v -> rte "expected an int, got %s" (describe v)
+
+let as_float = function
+  | VFloat f -> f
+  | v -> rte "expected a float, got %s" (describe v)
+
+let as_index = function
+  | VIndex a -> a
+  | v -> rte "expected an Index, got %s" (describe v)
+
+let as_darray = function
+  | VDarray a -> a
+  | v -> rte "expected a distributed array, got %s" (describe v)
+
+let as_fun = function
+  | VFun f -> f
+  | v -> rte "expected a function, got %s" (describe v)

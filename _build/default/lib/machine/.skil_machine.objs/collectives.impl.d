@@ -1,0 +1,1 @@
+lib/machine/collectives.ml: Array Machine

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Calibration Cost_model Float Hashtbl Obj Queue Scheduler Stats Topology Trace

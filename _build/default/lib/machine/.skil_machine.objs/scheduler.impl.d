@@ -1,0 +1,1 @@
+lib/machine/scheduler.ml: Array Effect Queue

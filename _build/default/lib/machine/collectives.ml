@@ -1,0 +1,94 @@
+(* Binomial-tree collectives over virtual ranks, valid for any number of
+   processors.  vrank = (rank - root + p) mod p, so the tree is rooted at
+   [root].  All message matching is FIFO per (source, tag); since SPMD
+   programs issue collectives in the same order everywhere, reusing a tag
+   across successive collectives is safe. *)
+
+let vrank_of ctx root rank =
+  let p = Machine.nprocs ctx in
+  ((rank - root) mod p + p) mod p
+
+let rank_of ctx root vrank = (vrank + root) mod Machine.nprocs ctx
+
+let reduce ctx ~tag ~root ~bytes f v =
+  let p = Machine.nprocs ctx in
+  let me = vrank_of ctx root (Machine.self ctx) in
+  let acc = ref v in
+  let offset = ref 1 in
+  let participating = ref true in
+  while !participating && !offset < p do
+    let span = 2 * !offset in
+    if me mod span = !offset then begin
+      (* tree edges are rendezvous links: the child is busy until the
+         parent has the partial result *)
+      Machine.send ctx ~rendezvous:true
+        ~dest:(rank_of ctx root (me - !offset))
+        ~tag ~bytes !acc;
+      participating := false
+    end
+    else if me mod span = 0 && me + !offset < p then begin
+      let w = Machine.recv ctx ~src:(rank_of ctx root (me + !offset)) ~tag in
+      acc := f !acc w
+    end;
+    offset := 2 * !offset
+  done;
+  !acc
+
+let bcast ctx ~tag ~root ~bytes v =
+  let p = Machine.nprocs ctx in
+  let me = vrank_of ctx root (Machine.self ctx) in
+  let highest = ref 1 in
+  while !highest < p do
+    highest := 2 * !highest
+  done;
+  let value = ref v in
+  let offset = ref (!highest / 2) in
+  while !offset >= 1 do
+    let span = 2 * !offset in
+    if me mod span = 0 && me + !offset < p then
+      Machine.send ctx ~rendezvous:true
+        ~dest:(rank_of ctx root (me + !offset))
+        ~tag ~bytes !value
+    else if me mod span = !offset then
+      value := Machine.recv ctx ~src:(rank_of ctx root (me - !offset)) ~tag;
+    offset := !offset / 2
+  done;
+  !value
+
+let allreduce ctx ~tag ~bytes f v =
+  let combined = reduce ctx ~tag ~root:0 ~bytes f v in
+  bcast ctx ~tag ~root:0 ~bytes combined
+
+let barrier ctx ~tag =
+  ignore (allreduce ctx ~tag ~bytes:0 (fun () () -> ()) ())
+
+let scan ctx ~tag ~bytes f v =
+  let p = Machine.nprocs ctx in
+  let me = Machine.self ctx in
+  let acc =
+    if me = 0 then v
+    else
+      let prefix = Machine.recv ctx ~src:(me - 1) ~tag in
+      f prefix v
+  in
+  if me < p - 1 then Machine.send ctx ~dest:(me + 1) ~tag ~bytes acc;
+  acc
+
+let gather_to ctx ~tag ~root ~bytes v =
+  let p = Machine.nprocs ctx in
+  let me = Machine.self ctx in
+  if me = root then begin
+    let out = Array.make p v in
+    for src = 0 to p - 1 do
+      if src <> root then out.(src) <- Machine.recv ctx ~src ~tag
+    done;
+    Some out
+  end
+  else begin
+    Machine.send ctx ~dest:root ~tag ~bytes v;
+    None
+  end
+
+let ring_shift ctx ~tag ~bytes ~dest ~src v =
+  if dest = Machine.self ctx && src = Machine.self ctx then v
+  else Machine.sendrecv ctx ~dest ~src ~tag ~bytes v

@@ -1,0 +1,47 @@
+(** Collective operations built from point-to-point messages along a virtual
+    binomial tree, as in the paper's [array_fold] ("performed along the edges
+    of a virtual tree topology ... broadcasted from the root along the tree
+    edges to all other processors").
+
+    Every collective must be called by all processors of the machine with the
+    same [tag] and compatible arguments.  [bytes] is the simulated wire size
+    of one payload. *)
+
+val bcast : Machine.ctx -> tag:int -> root:int -> bytes:int -> 'a -> 'a
+(** Tree broadcast of [root]'s value; every processor returns it.  The value
+    argument of non-root processors is ignored. *)
+
+val reduce :
+  Machine.ctx ->
+  tag:int ->
+  root:int ->
+  bytes:int ->
+  ('a -> 'a -> 'a) ->
+  'a ->
+  'a
+(** Tree reduction; only [root]'s return value is meaningful.  [f] should be
+    associative and commutative (the paper makes the same demand of
+    [array_fold]'s folding function). *)
+
+val allreduce :
+  Machine.ctx -> tag:int -> bytes:int -> ('a -> 'a -> 'a) -> 'a -> 'a
+(** {!reduce} to processor 0 followed by {!bcast}; every processor returns
+    the combined value. *)
+
+val barrier : Machine.ctx -> tag:int -> unit
+(** All processors synchronize (zero-byte allreduce). *)
+
+val scan :
+  Machine.ctx -> tag:int -> bytes:int -> ('a -> 'a -> 'a) -> 'a -> 'a
+(** Inclusive prefix combine in rank order: processor [i] returns
+    [f v0 (f v1 (... vi))].  Linear pipeline (used by the block-cyclic
+    redistribution extension). *)
+
+val gather_to : Machine.ctx -> tag:int -> root:int -> bytes:int -> 'a -> 'a array option
+(** Every processor contributes one value; [root] returns [Some arr] with
+    [arr.(i)] from processor [i], others return [None]. *)
+
+val ring_shift :
+  Machine.ctx -> tag:int -> bytes:int -> dest:int -> src:int -> 'a -> 'a
+(** Simultaneous shift: send the value to [dest], return the one received
+    from [src].  Used for Gentleman's partition rotations. *)

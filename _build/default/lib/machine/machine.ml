@@ -1,0 +1,246 @@
+type message = { arrival : float; payload : Obj.t }
+
+type waiting = Exact of int * int | Any_source of int
+
+type proc = {
+  id : int;
+  mutable clock : float;
+  inbox : (int * int, message Queue.t) Hashtbl.t; (* keyed by (src, tag) *)
+  mutable waiting : waiting option;
+  mutable coll_count : int; (* collective call sites reached so far *)
+  stats : Stats.proc;
+}
+
+type t = {
+  topology : Topology.t;
+  cost : Cost_model.t;
+  procs : proc array;
+  sched : Scheduler.t;
+  collectives : (int, Obj.t * int ref) Hashtbl.t;
+  mutable next_tag : int;
+  trace : Trace.t;
+}
+
+type ctx = { m : t; p : proc }
+
+type 'r result = {
+  values : 'r array;
+  time : float;
+  stats : Stats.t;
+  trace : Trace.t;
+}
+
+let self ctx = ctx.p.id
+let nprocs ctx = Array.length ctx.m.procs
+let topology ctx = ctx.m.topology
+let cost ctx = ctx.m.cost
+let profile ctx = ctx.m.cost.Cost_model.profile
+let clock ctx = ctx.p.clock
+
+let compute ctx seconds =
+  assert (seconds >= 0.0);
+  Trace.record ctx.m.trace ~proc:ctx.p.id ~start:ctx.p.clock
+    ~duration:seconds Trace.Compute;
+  ctx.p.clock <- ctx.p.clock +. seconds;
+  ctx.p.stats.Stats.compute_time <- ctx.p.stats.Stats.compute_time +. seconds
+
+let charge ctx cls ~ops ~base =
+  if ops > 0 then
+    compute ctx (float_of_int ops *. base *. Cost_model.factor (profile ctx) cls)
+
+let overhead ctx seconds =
+  Trace.record ctx.m.trace ~proc:ctx.p.id ~start:ctx.p.clock
+    ~duration:seconds Trace.Overhead;
+  ctx.p.clock <- ctx.p.clock +. seconds;
+  ctx.p.stats.Stats.overhead_time <-
+    ctx.p.stats.Stats.overhead_time +. seconds
+
+let charge_skeleton_call ctx =
+  ctx.p.stats.Stats.skeleton_calls <- ctx.p.stats.Stats.skeleton_calls + 1;
+  overhead ctx (profile ctx).Cost_model.skeleton_call
+
+let charge_copy ctx ~bytes =
+  compute ctx (float_of_int bytes *. Calibration.copy_per_byte)
+
+let queue_of inbox key =
+  match Hashtbl.find_opt inbox key with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.add inbox key q;
+      q
+
+let send ctx ?(rendezvous = false) ~dest ~tag ~bytes v =
+  let m = ctx.m in
+  if dest < 0 || dest >= Array.length m.procs then
+    invalid_arg "Machine.send: destination out of range";
+  let params = m.cost.Cost_model.params in
+  let cf = (profile ctx).Cost_model.comm_factor in
+  overhead ctx (cf *. params.Cost_model.send_overhead);
+  let hops = Topology.hops m.topology ctx.p.id dest in
+  let arrival =
+    ctx.p.clock
+    +. cf
+       *. (params.Cost_model.msg_latency
+           +. (float_of_int hops *. params.Cost_model.per_hop)
+           +. (float_of_int bytes *. params.Cost_model.per_byte))
+  in
+  let target = m.procs.(dest) in
+  Queue.add { arrival; payload = Obj.repr v }
+    (queue_of target.inbox (ctx.p.id, tag));
+  let st = ctx.p.stats in
+  st.Stats.msgs_sent <- st.Stats.msgs_sent + 1;
+  st.Stats.bytes_sent <- st.Stats.bytes_sent + bytes;
+  st.Stats.hop_bytes <- st.Stats.hop_bytes + (bytes * hops);
+  if rendezvous || (profile ctx).Cost_model.sync_comm then begin
+    (* Rendezvous-style link: the sender is busy until delivery, so no
+       communication/computation overlap is possible. *)
+    let wait = Float.max 0.0 (arrival -. ctx.p.clock) in
+    Trace.record m.trace ~proc:ctx.p.id ~start:ctx.p.clock ~duration:wait
+      Trace.Wait;
+    ctx.p.clock <- arrival;
+    st.Stats.comm_wait <- st.Stats.comm_wait +. wait
+  end;
+  (match target.waiting with
+   | Some (Exact (s, t)) when s = ctx.p.id && t = tag ->
+       target.waiting <- None;
+       Scheduler.wake m.sched dest
+   | Some (Any_source t) when t = tag ->
+       target.waiting <- None;
+       Scheduler.wake m.sched dest
+   | Some _ | None -> ())
+
+let recv ctx ~src ~tag =
+  let m = ctx.m in
+  if src < 0 || src >= Array.length m.procs then
+    invalid_arg "Machine.recv: source out of range";
+  let key = (src, tag) in
+  let rec obtain () =
+    match Hashtbl.find_opt ctx.p.inbox key with
+    | Some q when not (Queue.is_empty q) -> Queue.take q
+    | Some _ | None ->
+        let src0, tag0 = key in
+        ctx.p.waiting <- Some (Exact (src0, tag0));
+        Scheduler.block m.sched;
+        obtain ()
+  in
+  let msg = obtain () in
+  ctx.p.waiting <- None;
+  let params = m.cost.Cost_model.params in
+  let wait = Float.max 0.0 (msg.arrival -. ctx.p.clock) in
+  Trace.record m.trace ~proc:ctx.p.id ~start:ctx.p.clock ~duration:wait
+    Trace.Wait;
+  ctx.p.clock <- Float.max ctx.p.clock msg.arrival;
+  ctx.p.stats.Stats.comm_wait <- ctx.p.stats.Stats.comm_wait +. wait;
+  overhead ctx
+    ((profile ctx).Cost_model.comm_factor *. params.Cost_model.recv_overhead);
+  Obj.obj msg.payload
+
+let recv_any ctx ~tag =
+  let m = ctx.m in
+  (* deterministic choice: earliest arrival, then lowest source rank *)
+  let best () =
+    Hashtbl.fold
+      (fun (src, t) q acc ->
+        if t <> tag || Queue.is_empty q then acc
+        else
+          let msg = Queue.peek q in
+          match acc with
+          | Some (bsrc, bmsg)
+            when bmsg.arrival < msg.arrival
+                 || (bmsg.arrival = msg.arrival && bsrc < src) ->
+              acc
+          | _ -> Some (src, msg))
+      ctx.p.inbox None
+  in
+  let rec obtain () =
+    match best () with
+    | Some (src, _) ->
+        let q = Hashtbl.find ctx.p.inbox (src, tag) in
+        (src, Queue.take q)
+    | None ->
+        ctx.p.waiting <- Some (Any_source tag);
+        Scheduler.block m.sched;
+        obtain ()
+  in
+  let src, msg = obtain () in
+  ctx.p.waiting <- None;
+  let params = m.cost.Cost_model.params in
+  let wait = Float.max 0.0 (msg.arrival -. ctx.p.clock) in
+  Trace.record m.trace ~proc:ctx.p.id ~start:ctx.p.clock ~duration:wait
+    Trace.Wait;
+  ctx.p.clock <- Float.max ctx.p.clock msg.arrival;
+  ctx.p.stats.Stats.comm_wait <- ctx.p.stats.Stats.comm_wait +. wait;
+  overhead ctx
+    ((profile ctx).Cost_model.comm_factor *. params.Cost_model.recv_overhead);
+  (src, Obj.obj msg.payload)
+
+let sendrecv ctx ~dest ~src ~tag ~bytes v =
+  send ctx ~dest ~tag ~bytes v;
+  recv ctx ~src ~tag
+
+let collective ctx f =
+  let m = ctx.m in
+  let idx = ctx.p.coll_count in
+  ctx.p.coll_count <- idx + 1;
+  match Hashtbl.find_opt m.collectives idx with
+  | Some (v, remaining) ->
+      decr remaining;
+      if !remaining = 0 then Hashtbl.remove m.collectives idx;
+      Obj.obj v
+  | None ->
+      let v = f () in
+      let consumers = Array.length m.procs - 1 in
+      if consumers > 0 then
+        Hashtbl.add m.collectives idx (Obj.repr v, ref consumers);
+      v
+
+let tags ctx n =
+  collective ctx (fun () ->
+      let t = ctx.m.next_tag in
+      ctx.m.next_tag <- ctx.m.next_tag + n;
+      t)
+
+let run ?(cost = Cost_model.default) ?(trace = false) ~topology f =
+  let n = Topology.nprocs topology in
+  let sched = Scheduler.create () in
+  let m =
+    {
+      topology;
+      cost;
+      procs =
+        Array.init n (fun id ->
+            {
+              id;
+              clock = 0.0;
+              inbox = Hashtbl.create 16;
+              waiting = None;
+              coll_count = 0;
+              stats = Stats.fresh_proc ();
+            });
+      sched;
+      collectives = Hashtbl.create 16;
+      next_tag = 0;
+      trace = Trace.create ~enabled:trace;
+    }
+  in
+  let stats =
+    { Stats.procs = Array.map (fun (p : proc) -> p.stats) m.procs;
+      makespan = 0.0 }
+  in
+  let values = Array.make n None in
+  for id = 0 to n - 1 do
+    let ctx = { m; p = m.procs.(id) } in
+    ignore (Scheduler.spawn sched (fun () -> values.(id) <- Some (f ctx)))
+  done;
+  Scheduler.run sched;
+  let makespan =
+    Array.fold_left (fun acc p -> Float.max acc p.clock) 0.0 m.procs
+  in
+  stats.Stats.makespan <- makespan;
+  let values =
+    Array.map
+      (function Some v -> v | None -> failwith "Machine.run: missing result")
+      values
+  in
+  { values; time = makespan; stats; trace = m.trace }

@@ -1,0 +1,97 @@
+(** Deterministic simulator of a distributed-memory message-passing machine
+    (the Parsytec MC / Parix substrate of the paper).
+
+    {!run} executes one SPMD program: the same function on every processor,
+    each as a cooperative fiber with its own simulated clock.  Point-to-point
+    messages are matched by (source, tag) in FIFO order, so a run is fully
+    deterministic.  Clocks advance through explicit {!charge} / {!compute}
+    calls and through the communication cost model; they never depend on
+    host wall-clock time. *)
+
+type t
+type ctx
+
+type 'r result = {
+  values : 'r array;
+  time : float;
+  stats : Stats.t;
+  trace : Trace.t;
+}
+(** [values.(i)] is processor [i]'s return value; [time] is the makespan
+    (max finishing clock); [trace] is empty unless requested. *)
+
+val run :
+  ?cost:Cost_model.t ->
+  ?trace:bool ->
+  topology:Topology.t ->
+  (ctx -> 'r) ->
+  'r result
+(** Run an SPMD program on every processor of [topology].  [trace] (default
+    false) records per-processor activity intervals (see {!Trace}).
+    @raise Scheduler.Deadlock if the program deadlocks.
+    Exceptions raised by the program propagate. *)
+
+(** {1 Processor context} *)
+
+val self : ctx -> int
+val nprocs : ctx -> int
+val topology : ctx -> Topology.t
+val cost : ctx -> Cost_model.t
+val profile : ctx -> Cost_model.profile
+val clock : ctx -> float
+
+val compute : ctx -> float -> unit
+(** Charge raw seconds of sequential work (no profile factor applied). *)
+
+val charge : ctx -> Cost_model.op_class -> ops:int -> base:float -> unit
+(** Charge [ops * base * factor] seconds, where the factor comes from the
+    run's language profile and the operation class. *)
+
+val charge_skeleton_call : ctx -> unit
+(** Charge the profile's fixed per-skeleton-invocation overhead. *)
+
+val charge_copy : ctx -> bytes:int -> unit
+(** Charge a contiguous local memory copy of [bytes] bytes. *)
+
+(** {1 Point-to-point communication}
+
+    Payloads travel through an untyped internal representation, exactly like
+    MPI buffers: the receiver must expect the type the matching sender put
+    in.  The skeleton library guarantees this by always pairing sends and
+    receives from the same SPMD call site with the same element type.  [tag]
+    disambiguates concurrent exchanges; [bytes] is the simulated wire size
+    used for cost accounting. *)
+
+val send : ctx -> ?rendezvous:bool -> dest:int -> tag:int -> bytes:int -> 'a -> unit
+(** Asynchronous under async profiles: only local overhead is charged and
+    the message arrives at [clock + overhead + latency + hops * per_hop +
+    bytes * per_byte].  Under [sync_comm] profiles — or when [rendezvous]
+    is set, as on the transputer's synchronous links used by the virtual
+    tree topologies — the sender's clock also advances to the arrival time
+    (no overlap).  Self-sends are allowed. *)
+
+val recv : ctx -> src:int -> tag:int -> 'a
+(** Blocks (in simulation order) until a message from [src] with [tag] is
+    available; the local clock advances to at least its arrival time. *)
+
+val recv_any : ctx -> tag:int -> int * 'a
+(** Receive from any source (MPI's ANY_SOURCE): deterministic choice of the
+    queued message with the earliest arrival time (ties broken by lowest
+    source rank).  Returns the source and the payload.  Needed by
+    master/worker skeletons ({!Task_skel.farm}). *)
+
+val sendrecv :
+  ctx -> dest:int -> src:int -> tag:int -> bytes:int -> 'a -> 'a
+(** [send] to [dest] then [recv] from [src] with the same [tag]. *)
+
+(** {1 Collective helpers} *)
+
+val collective : ctx -> (unit -> 'a) -> 'a
+(** Evaluate [f] once per {e collective call site} and hand the same value to
+    every processor (used to share handles of freshly created distributed
+    structures; costs nothing in simulated time).  All processors must reach
+    collective call sites in the same order — the usual SPMD discipline. *)
+
+val tags : ctx -> int -> int
+(** [tags ctx n] reserves [n] consecutive fresh tag values shared by all
+    processors (a collective call). *)

@@ -1,0 +1,96 @@
+type _ Effect.t += Block_current : unit Effect.t
+
+type state =
+  | Ready of (unit -> unit)
+  | Suspended of (unit, unit) Effect.Deep.continuation
+  | Running
+  | Finished
+
+type t = {
+  mutable fibers : state array;
+  mutable nfibers : int;
+  runnable : int Queue.t;
+  mutable current : int;
+  mutable finished : int;
+}
+
+exception Deadlock of int list
+
+let create () =
+  {
+    fibers = Array.make 8 Finished;
+    nfibers = 0;
+    runnable = Queue.create ();
+    current = -1;
+    finished = 0;
+  }
+
+let spawn t f =
+  if t.nfibers = Array.length t.fibers then begin
+    let bigger = Array.make (2 * t.nfibers) Finished in
+    Array.blit t.fibers 0 bigger 0 t.nfibers;
+    t.fibers <- bigger
+  end;
+  let id = t.nfibers in
+  t.fibers.(id) <- Ready f;
+  t.nfibers <- t.nfibers + 1;
+  Queue.add id t.runnable;
+  id
+
+let block _t = Effect.perform Block_current
+
+let wake t id =
+  match t.fibers.(id) with
+  | Suspended _ -> Queue.add id t.runnable
+  | Ready _ | Running | Finished -> ()
+
+let current t =
+  if t.current < 0 then invalid_arg "Scheduler.current: not inside a fiber";
+  t.current
+
+let handler t id =
+  let open Effect.Deep in
+  {
+    retc =
+      (fun () ->
+        t.fibers.(id) <- Finished;
+        t.finished <- t.finished + 1);
+    exnc = raise;
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Block_current ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                t.fibers.(id) <- Suspended k)
+        | _ -> None);
+  }
+
+let blocked_ids t =
+  let acc = ref [] in
+  for id = t.nfibers - 1 downto 0 do
+    match t.fibers.(id) with
+    | Suspended _ -> acc := id :: !acc
+    | Ready _ | Running | Finished -> ()
+  done;
+  !acc
+
+let run t =
+  while t.finished < t.nfibers do
+    match Queue.take_opt t.runnable with
+    | None -> raise (Deadlock (blocked_ids t))
+    | Some id -> (
+        t.current <- id;
+        (match t.fibers.(id) with
+         | Ready f ->
+             t.fibers.(id) <- Running;
+             Effect.Deep.match_with f () (handler t id)
+         | Suspended k ->
+             t.fibers.(id) <- Running;
+             Effect.Deep.continue k ()
+         | Running -> assert false
+         | Finished ->
+             (* stale queue entry from a wake that raced with termination *)
+             ());
+        t.current <- -1)
+  done

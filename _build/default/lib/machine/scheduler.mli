@@ -1,0 +1,33 @@
+(** Cooperative fiber scheduler built on OCaml 5 effect handlers.
+
+    Each simulated processor runs as one fiber.  Fibers run uninterrupted
+    until they perform {!block}, which suspends them until another fiber (or
+    the spawner) calls {!wake}.  Execution is deterministic: fibers are
+    resumed in FIFO order of becoming runnable. *)
+
+type t
+
+exception Deadlock of int list
+(** Raised by {!run} when no fiber is runnable but some are still blocked;
+    carries the ids of the blocked fibers. *)
+
+val create : unit -> t
+
+val spawn : t -> (unit -> unit) -> int
+(** Register a fiber; it becomes runnable immediately.  Returns its id
+    (consecutive from 0).  Must be called before {!run}. *)
+
+val block : t -> unit
+(** Suspend the calling fiber.  Only valid from inside a fiber. *)
+
+val wake : t -> int -> unit
+(** Make a blocked fiber runnable.  No-op if the fiber is not blocked (it
+    will observe whatever condition it checks before blocking again). *)
+
+val current : t -> int
+(** Id of the fiber currently executing.  Only valid from inside a fiber. *)
+
+val run : t -> unit
+(** Run all fibers to completion.
+    @raise Deadlock if blocked fibers remain with nothing runnable.
+    Exceptions escaping a fiber propagate out of [run]. *)

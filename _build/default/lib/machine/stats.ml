@@ -1,0 +1,42 @@
+type proc = {
+  mutable compute_time : float;
+  mutable comm_wait : float;
+  mutable overhead_time : float;
+  mutable msgs_sent : int;
+  mutable bytes_sent : int;
+  mutable hop_bytes : int;
+  mutable skeleton_calls : int;
+}
+
+type t = { procs : proc array; mutable makespan : float }
+
+let fresh_proc () =
+  {
+    compute_time = 0.0;
+    comm_wait = 0.0;
+    overhead_time = 0.0;
+    msgs_sent = 0;
+    bytes_sent = 0;
+    hop_bytes = 0;
+    skeleton_calls = 0;
+  }
+
+let create n = { procs = Array.init n (fun _ -> fresh_proc ()); makespan = 0.0 }
+let proc t i = t.procs.(i)
+
+let sum_by f t = Array.fold_left (fun acc p -> acc + f p) 0 t.procs
+let total_msgs t = sum_by (fun p -> p.msgs_sent) t
+let total_bytes t = sum_by (fun p -> p.bytes_sent) t
+
+let max_compute t =
+  Array.fold_left (fun acc p -> Float.max acc p.compute_time) 0.0 t.procs
+
+let avg_comm_wait t =
+  let s = Array.fold_left (fun acc p -> acc +. p.comm_wait) 0.0 t.procs in
+  s /. float_of_int (Array.length t.procs)
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "makespan %.4f s, max compute %.4f s, avg wait %.4f s, %d msgs, %d bytes"
+    t.makespan (max_compute t) (avg_comm_wait t) (total_msgs t)
+    (total_bytes t)

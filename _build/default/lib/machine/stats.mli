@@ -1,0 +1,25 @@
+(** Per-processor and aggregate counters collected during a simulated run. *)
+
+type proc = {
+  mutable compute_time : float;  (** seconds of charged sequential work *)
+  mutable comm_wait : float;  (** idle time spent waiting for messages *)
+  mutable overhead_time : float;  (** send/recv/skeleton software overheads *)
+  mutable msgs_sent : int;
+  mutable bytes_sent : int;
+  mutable hop_bytes : int;  (** sum over messages of [bytes * hops] *)
+  mutable skeleton_calls : int;
+}
+
+type t = {
+  procs : proc array;
+  mutable makespan : float;  (** max finishing clock over processors *)
+}
+
+val create : int -> t
+val fresh_proc : unit -> proc
+val proc : t -> int -> proc
+val total_msgs : t -> int
+val total_bytes : t -> int
+val max_compute : t -> float
+val avg_comm_wait : t -> float
+val pp_summary : Format.formatter -> t -> unit

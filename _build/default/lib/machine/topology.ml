@@ -1,0 +1,124 @@
+type virtual_kind = Default | Ring | Torus2d
+
+type t = {
+  width : int;
+  height : int;
+  kind : virtual_kind;
+  optimized : bool;
+  position : (int * int) array; (* rank -> physical mesh position *)
+}
+
+(* Fold a line of [n] logical positions into [n] physical slots such that
+   logical neighbours (including the wrap-around n-1 -> 0) end up at most two
+   slots apart: 0, 2, 4, ..., back down ..., 5, 3, 1. *)
+let folded_line n =
+  let slot = Array.make n 0 in
+  let half = (n + 1) / 2 in
+  for i = 0 to n - 1 do
+    if i < half then slot.(i) <- 2 * i else slot.(i) <- (2 * (n - 1 - i)) + 1
+  done;
+  slot
+
+(* Snake (boustrophedon) order through a width x height mesh: consecutive
+   linear positions are mesh-adjacent. *)
+let snake_position ~width i =
+  let row = i / width in
+  let col = i mod width in
+  let col = if row mod 2 = 0 then col else width - 1 - col in
+  (col, row)
+
+let positions ~width ~height ~kind ~optimized =
+  let n = width * height in
+  let row_major i = (i mod width, i / width) in
+  match (kind, optimized) with
+  | Default, _ | _, false -> Array.init n row_major
+  | Ring, true ->
+      (* Fold the ring into the snake so both the step edges and the
+         wrap-around edge stay short. *)
+      let slot = folded_line n in
+      Array.init n (fun i -> snake_position ~width slot.(i))
+  | Torus2d, true ->
+      (* Classic folded torus: fold each dimension independently, making
+         every torus neighbour (wrap-around included) at most 2 hops away. *)
+      let fold_x = folded_line width and fold_y = folded_line height in
+      Array.init n (fun i -> (fold_x.(i mod width), fold_y.(i / width)))
+
+let create ?(embedding_optimized = true) ~width ~height kind =
+  if width <= 0 || height <= 0 then
+    invalid_arg "Topology.create: non-positive grid dimension";
+  {
+    width;
+    height;
+    kind;
+    optimized = embedding_optimized;
+    position = positions ~width ~height ~kind ~optimized:embedding_optimized;
+  }
+
+let mesh ~width ~height = create ~width ~height Default
+
+let ring ~nprocs =
+  if nprocs <= 0 then invalid_arg "Topology.ring: non-positive size";
+  (* Pick the most square mesh that holds nprocs processors exactly. *)
+  let rec best w = if nprocs mod w = 0 then w else best (w - 1) in
+  let w = best (int_of_float (sqrt (float_of_int nprocs))) in
+  create ~width:(nprocs / w) ~height:w Ring
+
+let torus2d ?(embedding_optimized = true) ~width ~height () =
+  create ~embedding_optimized ~width ~height Torus2d
+
+let nprocs t = t.width * t.height
+let width t = t.width
+let height t = t.height
+let kind t = t.kind
+let embedding_optimized t = t.optimized
+
+let check_rank t r =
+  if r < 0 || r >= nprocs t then invalid_arg "Topology: rank out of range"
+
+let grid_coords t rank =
+  check_rank t rank;
+  (rank mod t.width, rank / t.width)
+
+let rank_of_grid t (x, y) =
+  let modp a m = ((a mod m) + m) mod m in
+  let x = modp x t.width and y = modp y t.height in
+  (y * t.width) + x
+
+let mesh_position t rank =
+  check_rank t rank;
+  t.position.(rank)
+
+let hops t a b =
+  let xa, ya = mesh_position t a and xb, yb = mesh_position t b in
+  abs (xa - xb) + abs (ya - yb)
+
+let ring_next t rank =
+  check_rank t rank;
+  (rank + 1) mod nprocs t
+
+let ring_prev t rank =
+  check_rank t rank;
+  (rank + nprocs t - 1) mod nprocs t
+
+let torus_neighbor t rank dir =
+  let x, y = grid_coords t rank in
+  let c =
+    match dir with
+    | `North -> (x, y - 1)
+    | `South -> (x, y + 1)
+    | `East -> (x + 1, y)
+    | `West -> (x - 1, y)
+  in
+  rank_of_grid t c
+
+let square_side t = if t.width = t.height then Some t.width else None
+
+let pp ppf t =
+  let k =
+    match t.kind with
+    | Default -> "default"
+    | Ring -> "ring"
+    | Torus2d -> "torus2d"
+  in
+  Format.fprintf ppf "%dx%d mesh, %s topology%s" t.width t.height k
+    (if t.optimized then "" else " (naive embedding)")

@@ -1,0 +1,60 @@
+type kind = Compute | Wait | Overhead
+type event = { proc : int; start : float; duration : float; kind : kind }
+type t = { enabled : bool; mutable events : event list (* reversed *) }
+
+let create ~enabled = { enabled; events = [] }
+let enabled t = t.enabled
+
+let record t ~proc ~start ~duration kind =
+  if t.enabled && duration > 0.0 then
+    t.events <- { proc; start; duration; kind } :: t.events
+
+let events t = List.rev t.events
+
+let busy_fraction t ~proc ~makespan =
+  if makespan <= 0.0 then 0.0
+  else
+    List.fold_left
+      (fun acc e ->
+        if e.proc = proc && e.kind = Compute then acc +. e.duration else acc)
+      0.0 t.events
+    /. makespan
+
+let timeline ?(width = 60) t ~nprocs ~makespan =
+  if makespan <= 0.0 then "(no simulated time passed)\n"
+  else begin
+    let grid = Array.make_matrix nprocs width ' ' in
+    let mark e =
+      let c =
+        match e.kind with Compute -> '#' | Wait -> '.' | Overhead -> '+'
+      in
+      let b0 =
+        int_of_float (e.start /. makespan *. float_of_int width)
+      in
+      let b1 =
+        int_of_float
+          ((e.start +. e.duration) /. makespan *. float_of_int width)
+      in
+      for b = max 0 b0 to min (width - 1) b1 do
+        if e.proc >= 0 && e.proc < nprocs then
+          (* computing dominates waiting dominates overhead within a cell *)
+          let cur = grid.(e.proc).(b) in
+          let rank ch =
+            match ch with '#' -> 3 | '.' -> 2 | '+' -> 1 | _ -> 0
+          in
+          if rank c > rank cur then grid.(e.proc).(b) <- c
+      done
+    in
+    List.iter mark t.events;
+    let buf = Buffer.create (nprocs * (width + 16)) in
+    Buffer.add_string buf
+      (Printf.sprintf "timeline over %.4f s  (#=compute  .=wait  +=overhead)\n"
+         makespan);
+    Array.iteri
+      (fun p row ->
+        Buffer.add_string buf (Printf.sprintf "p%-3d |" p);
+        Array.iter (Buffer.add_char buf) row;
+        Buffer.add_string buf "|\n")
+      grid;
+    Buffer.contents buf
+  end

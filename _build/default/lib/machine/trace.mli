@@ -1,0 +1,30 @@
+(** Optional event tracing of simulated runs.
+
+    When {!Machine.run} is called with [~trace:true], every clock-advancing
+    action is recorded as an interval on the owning processor's timeline:
+    computation, communication waits, software overheads.  The result is a
+    per-processor activity profile — the tool one reaches for to see {e why}
+    a configuration of Table 2 is communication-bound. *)
+
+type kind =
+  | Compute
+  | Wait  (** blocked on a message that had not arrived yet *)
+  | Overhead  (** send/recv software costs, skeleton call overheads *)
+
+type event = { proc : int; start : float; duration : float; kind : kind }
+
+type t
+
+val create : enabled:bool -> t
+val enabled : t -> bool
+val record : t -> proc:int -> start:float -> duration:float -> kind -> unit
+val events : t -> event list
+(** In recording order. *)
+
+val busy_fraction : t -> proc:int -> makespan:float -> float
+(** Fraction of the makespan the processor spent computing. *)
+
+val timeline :
+  ?width:int -> t -> nprocs:int -> makespan:float -> string
+(** ASCII utilization chart, one row per processor: ['#'] computing, ['.']
+    waiting, ['+'] overhead, [' '] idle. *)

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Darray Float Gauss Heat List Machine Matmul Printf Shortest_paths Skeletons Topology Workload

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Cost_model Dpfl Float Gauss List Machine Matmul Parix_c Printf Shortest_paths Topology Workload

@@ -1,0 +1,1 @@
+test/test_collectives.ml: Alcotest Array Collectives List Machine Printf Topology

@@ -1,0 +1,1 @@
+test/test_darray.ml: Alcotest Array Calibration Darray Distribution Fun Index List

@@ -1,0 +1,1 @@
+test/test_dc_apps.ml: Alcotest Array Dc_apps Float List Machine Option Printf Topology Workload

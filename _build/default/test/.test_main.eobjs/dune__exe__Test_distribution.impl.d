@@ -1,0 +1,1 @@
+test/test_distribution.ml: Alcotest Array Distribution Index List

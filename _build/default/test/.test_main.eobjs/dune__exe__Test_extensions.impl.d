@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Darray List Machine Par_io Printf Skeletons Stats Stencil Task_skel Topology

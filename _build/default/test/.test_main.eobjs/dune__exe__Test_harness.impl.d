@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Experiments Lazy List Printf Series String Table

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Ast Emit_c Instantiate Interp Lexer List Machine Parser Printf Shortest_paths Spmd String Token Topology Typecheck Value

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Cost_model List Machine Scheduler Stats String Topology Trace

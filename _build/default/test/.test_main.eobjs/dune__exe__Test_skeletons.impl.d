@@ -1,0 +1,1 @@
+test/test_skeletons.ml: Alcotest Array Collectives Cost_model Darray Fun Index List Machine Printf Skeletons Topology

@@ -1,0 +1,1 @@
+test/test_skil_programs.ml: Alcotest Array Cost_model Emit_c Gauss Instantiate Interp List Machine Matmul Parser Printf Shortest_paths Spmd String Sys Topology Typecheck Value

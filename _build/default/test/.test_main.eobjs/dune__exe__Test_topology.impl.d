@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Hashtbl List Printf Topology

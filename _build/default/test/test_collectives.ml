@@ -1,0 +1,149 @@
+let run ~procs f =
+  Machine.run ~topology:(Topology.mesh ~width:procs ~height:1) f
+
+let sizes = [ 1; 2; 3; 4; 5; 7; 8; 13; 16 ]
+
+let test_bcast () =
+  List.iter
+    (fun p ->
+      for root = 0 to min 2 (p - 1) do
+        let r =
+          run ~procs:p (fun ctx ->
+              let v = if Machine.self ctx = root then 4242 else -1 in
+              Collectives.bcast ctx ~tag:0 ~root ~bytes:4 v)
+        in
+        Array.iteri
+          (fun i v ->
+            Alcotest.(check int)
+              (Printf.sprintf "p=%d root=%d rank=%d" p root i)
+              4242 v)
+          r.Machine.values
+      done)
+    sizes
+
+let test_reduce_sum () =
+  List.iter
+    (fun p ->
+      let r =
+        run ~procs:p (fun ctx ->
+            Collectives.reduce ctx ~tag:0 ~root:0 ~bytes:4 ( + )
+              (Machine.self ctx + 1))
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "sum p=%d" p)
+        (p * (p + 1) / 2)
+        r.Machine.values.(0))
+    sizes
+
+let test_allreduce_max () =
+  List.iter
+    (fun p ->
+      let r =
+        run ~procs:p (fun ctx ->
+            Collectives.allreduce ctx ~tag:0 ~bytes:4 max
+              ((Machine.self ctx * 37) mod 11))
+      in
+      let expected = Array.fold_left max min_int r.Machine.values in
+      Array.iter
+        (fun v -> Alcotest.(check int) "all equal max" expected v)
+        r.Machine.values)
+    sizes
+
+let test_allreduce_nonroot_value () =
+  let r =
+    run ~procs:5 (fun ctx ->
+        Collectives.allreduce ctx ~tag:0 ~bytes:4 ( + ) (Machine.self ctx))
+  in
+  Array.iter (fun v -> Alcotest.(check int) "sum 0..4" 10 v) r.Machine.values
+
+let test_barrier_aligns_clocks () =
+  let r =
+    run ~procs:4 (fun ctx ->
+        (* rank 3 is slow; after the barrier nobody's clock may be behind
+           the time rank 3 entered it *)
+        if Machine.self ctx = 3 then Machine.compute ctx 5.0;
+        Collectives.barrier ctx ~tag:0;
+        Machine.clock ctx)
+  in
+  Array.iter
+    (fun c -> Alcotest.(check bool) "clock past barrier" true (c >= 5.0))
+    r.Machine.values
+
+let test_scan () =
+  List.iter
+    (fun p ->
+      let r =
+        run ~procs:p (fun ctx ->
+            Collectives.scan ctx ~tag:0 ~bytes:4 ( + ) (Machine.self ctx + 1))
+      in
+      Array.iteri
+        (fun i v ->
+          Alcotest.(check int)
+            (Printf.sprintf "prefix p=%d i=%d" p i)
+            ((i + 1) * (i + 2) / 2)
+            v)
+        r.Machine.values)
+    sizes
+
+let test_gather () =
+  let r =
+    run ~procs:6 (fun ctx ->
+        Collectives.gather_to ctx ~tag:0 ~root:2 ~bytes:4
+          (Machine.self ctx * Machine.self ctx))
+  in
+  Array.iteri
+    (fun i v ->
+      match (i, v) with
+      | 2, Some arr ->
+          Alcotest.(check (array int))
+            "gathered"
+            [| 0; 1; 4; 9; 16; 25 |]
+            arr
+      | 2, None -> Alcotest.fail "root got nothing"
+      | _, Some _ -> Alcotest.fail "non-root got a result"
+      | _, None -> ())
+    r.Machine.values
+
+let test_ring_shift () =
+  let r =
+    run ~procs:5 (fun ctx ->
+        let topo = Machine.topology ctx in
+        let me = Machine.self ctx in
+        Collectives.ring_shift ctx ~tag:0 ~bytes:4
+          ~dest:(Topology.ring_next topo me)
+          ~src:(Topology.ring_prev topo me)
+          me)
+  in
+  Alcotest.(check (array int)) "rotated" [| 4; 0; 1; 2; 3 |] r.Machine.values
+
+let test_reduce_stages_logarithmic () =
+  (* 16 processors: a binomial reduce takes 4 message stages, so the root's
+     finishing clock must be far below what a linear gather would cost. *)
+  let r =
+    run ~procs:16 (fun ctx ->
+        let _ =
+          Collectives.reduce ctx ~tag:0 ~root:0 ~bytes:4 ( + ) 1
+        in
+        Machine.clock ctx)
+  in
+  let per_stage = 2e-3 in
+  Alcotest.(check bool)
+    "log stages" true
+    (r.Machine.values.(0) < 5.0 *. per_stage)
+
+let suite =
+  [
+    ( "collectives",
+      [
+        Alcotest.test_case "bcast" `Quick test_bcast;
+        Alcotest.test_case "reduce sum" `Quick test_reduce_sum;
+        Alcotest.test_case "allreduce max" `Quick test_allreduce_max;
+        Alcotest.test_case "allreduce sum" `Quick test_allreduce_nonroot_value;
+        Alcotest.test_case "barrier" `Quick test_barrier_aligns_clocks;
+        Alcotest.test_case "scan" `Quick test_scan;
+        Alcotest.test_case "gather" `Quick test_gather;
+        Alcotest.test_case "ring shift" `Quick test_ring_shift;
+        Alcotest.test_case "reduce is logarithmic" `Quick
+          test_reduce_stages_logarithmic;
+      ] );
+  ]

@@ -1,0 +1,120 @@
+let mk ?(scheme = Distribution.Block) gsize pgrid init =
+  let dist = Distribution.create ~gsize ~pgrid scheme in
+  Darray.make ~gsize ~dist ~distr:Darray.Default
+    ~elem_bytes:Calibration.elem_bytes init
+
+let test_init_values () =
+  let a = mk [| 6; 4 |] [| 3; 1 |] (fun ix -> (10 * ix.(0)) + ix.(1)) in
+  for i = 0 to 5 do
+    for j = 0 to 3 do
+      Alcotest.(check int) "peek" ((10 * i) + j) (Darray.peek a [| i; j |])
+    done
+  done
+
+let test_init_index_copies () =
+  (* the init function must receive indices it can keep *)
+  let kept = ref [] in
+  let _ =
+    mk [| 4 |] [| 2 |] (fun ix ->
+        kept := ix :: !kept;
+        0)
+  in
+  let sorted = List.sort compare (List.map (fun ix -> ix.(0)) !kept) in
+  Alcotest.(check (list int)) "all indices seen" [ 0; 1; 2; 3 ] sorted
+
+let test_get_set_local () =
+  let a = mk [| 8 |] [| 4 |] (fun ix -> ix.(0)) in
+  Darray.set a ~rank:2 [| 5 |] 55;
+  Alcotest.(check int) "set/get" 55 (Darray.get a ~rank:2 [| 5 |])
+
+let test_local_access_violation () =
+  let a = mk [| 8 |] [| 4 |] (fun ix -> ix.(0)) in
+  (match Darray.get a ~rank:0 [| 5 |] with
+   | _ -> Alcotest.fail "expected violation"
+   | exception Darray.Local_access_violation { rank = 0; index = [| 5 |] } ->
+       ()
+   | exception Darray.Local_access_violation _ ->
+       Alcotest.fail "wrong violation payload");
+  match Darray.set a ~rank:3 [| 0 |] 9 with
+  | () -> Alcotest.fail "expected violation"
+  | exception Darray.Local_access_violation _ -> ()
+
+let test_bounds () =
+  let a = mk [| 10; 3 |] [| 2; 1 |] (fun _ -> 0) in
+  let b = Darray.bounds a ~rank:1 in
+  Alcotest.(check (array int)) "lower" [| 5; 0 |] b.Index.lower;
+  Alcotest.(check (array int)) "upper" [| 10; 3 |] b.Index.upper
+
+let test_bounds_cyclic_rejected () =
+  let a = mk ~scheme:Distribution.Cyclic [| 6; 2 |] [| 2; 1 |] (fun _ -> 0) in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Darray.bounds a ~rank:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_use_after_destroy () =
+  let a = mk [| 4 |] [| 2 |] (fun ix -> ix.(0)) in
+  Darray.mark_destroyed a;
+  Alcotest.check_raises "peek" Darray.Use_after_destroy (fun () ->
+      ignore (Darray.peek a [| 0 |]))
+
+let test_to_flat () =
+  let a = mk [| 3; 3 |] [| 3; 1 |] (fun ix -> (3 * ix.(0)) + ix.(1)) in
+  Alcotest.(check (array int))
+    "row major"
+    (Array.init 9 Fun.id)
+    (Darray.to_flat a)
+
+let test_to_flat_torus_layout () =
+  let gsize = [| 4; 4 |] in
+  let dist = Distribution.create ~gsize ~pgrid:[| 2; 2 |] Distribution.Block in
+  let a =
+    Darray.make ~gsize ~dist ~distr:Darray.Torus2d ~elem_bytes:4 (fun ix ->
+        (4 * ix.(0)) + ix.(1))
+  in
+  Alcotest.(check (array int))
+    "row major across blocks"
+    (Array.init 16 Fun.id)
+    (Darray.to_flat a)
+
+let test_row () =
+  let a = mk [| 4; 3 |] [| 2; 1 |] (fun ix -> (10 * ix.(0)) + ix.(1)) in
+  Alcotest.(check (array int)) "row 2" [| 20; 21; 22 |] (Darray.row a 2)
+
+let test_row_cyclic () =
+  let a =
+    mk ~scheme:Distribution.Cyclic [| 5; 2 |] [| 2; 1 |] (fun ix ->
+        (10 * ix.(0)) + ix.(1))
+  in
+  Alcotest.(check (array int)) "row 3" [| 30; 31 |] (Darray.row a 3)
+
+let test_owner_matches_distribution () =
+  let a = mk [| 9; 9 |] [| 3; 3 |] (fun _ -> 0) in
+  let b =
+    { Index.lower = [| 0; 0 |]; upper = [| 9; 9 |] }
+  in
+  Index.iter b (fun ix ->
+      let o = Darray.owner a ix in
+      Alcotest.(check int) "get via owner" 0 (Darray.get a ~rank:o ix))
+
+let suite =
+  [
+    ( "darray",
+      [
+        Alcotest.test_case "init values" `Quick test_init_values;
+        Alcotest.test_case "init index copies" `Quick test_init_index_copies;
+        Alcotest.test_case "get/set local" `Quick test_get_set_local;
+        Alcotest.test_case "locality enforced" `Quick
+          test_local_access_violation;
+        Alcotest.test_case "bounds" `Quick test_bounds;
+        Alcotest.test_case "cyclic bounds rejected" `Quick
+          test_bounds_cyclic_rejected;
+        Alcotest.test_case "use after destroy" `Quick test_use_after_destroy;
+        Alcotest.test_case "to_flat" `Quick test_to_flat;
+        Alcotest.test_case "to_flat torus" `Quick test_to_flat_torus_layout;
+        Alcotest.test_case "row" `Quick test_row;
+        Alcotest.test_case "row cyclic" `Quick test_row_cyclic;
+        Alcotest.test_case "owner" `Quick test_owner_matches_distribution;
+      ] );
+  ]

@@ -1,0 +1,113 @@
+(* The introduction's d&c instantiations: integration, polynomial
+   evaluation, FFT — checked against analytic/naive references on several
+   machine sizes. *)
+
+let run ~procs f =
+  (Machine.run ~topology:(Topology.mesh ~width:procs ~height:1) f)
+    .Machine.values
+
+let test_integrate_sin () =
+  List.iter
+    (fun procs ->
+      let r =
+        run ~procs (fun ctx ->
+            Dc_apps.integrate ctx ~f:sin ~lo:0.0 ~hi:Float.pi ())
+      in
+      match r.(0) with
+      | Some v ->
+          Alcotest.(check (float 1e-6))
+            (Printf.sprintf "int sin on %d procs" procs)
+            2.0 v
+      | None -> Alcotest.fail "no result on root")
+    [ 1; 2; 3; 4; 8 ]
+
+let test_integrate_polynomial_exact () =
+  (* Simpson is exact for cubics *)
+  let r =
+    run ~procs:4 (fun ctx ->
+        Dc_apps.integrate ctx ~levels:3
+          ~f:(fun x -> (x *. x *. x) -. (2.0 *. x) +. 1.0)
+          ~lo:0.0 ~hi:2.0 ())
+  in
+  Alcotest.(check (float 1e-12)) "cubic" 2.0 (Option.get r.(0))
+
+let horner coeffs x =
+  Array.fold_right (fun c acc -> (acc *. x) +. c) coeffs 0.0
+
+let test_poly_eval () =
+  let coeffs = Array.init 13 (fun i -> float_of_int ((i * 7 mod 5) - 2)) in
+  List.iter
+    (fun (procs, x) ->
+      let r = run ~procs (fun ctx -> Dc_apps.poly_eval ctx ~coeffs ~x) in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "p(%g) on %d procs" x procs)
+        (horner coeffs x)
+        (Option.get r.(0)))
+    [ (1, 0.5); (2, -1.25); (4, 2.0); (5, 0.0) ]
+
+let test_poly_eval_single_coeff () =
+  let r =
+    run ~procs:2 (fun ctx -> Dc_apps.poly_eval ctx ~coeffs:[| 7.5 |] ~x:3.0)
+  in
+  Alcotest.(check (float 1e-12)) "constant poly" 7.5 (Option.get r.(0))
+
+let close_complex eps (ar, ai) (br, bi) =
+  Float.abs (ar -. br) < eps && Float.abs (ai -. bi) < eps
+
+let test_fft_matches_dft () =
+  let n = 16 in
+  let signal =
+    Array.init n (fun i ->
+        ( float_of_int (Workload.hash2 ~seed:4 i 0 mod 100) /. 50.0,
+          float_of_int (Workload.hash2 ~seed:5 i 1 mod 100) /. 50.0 ))
+  in
+  let expected = Dc_apps.dft_reference signal in
+  List.iter
+    (fun procs ->
+      let r = run ~procs (fun ctx -> Dc_apps.fft ctx signal) in
+      let got = Option.get r.(0) in
+      Alcotest.(check int) "length" n (Array.length got);
+      Array.iteri
+        (fun k g ->
+          Alcotest.(check bool)
+            (Printf.sprintf "bin %d on %d procs" k procs)
+            true
+            (close_complex 1e-9 expected.(k) g))
+        got)
+    [ 1; 2; 4 ]
+
+let test_fft_impulse () =
+  (* FFT of a unit impulse is flat ones *)
+  let n = 8 in
+  let signal = Array.init n (fun i -> if i = 0 then (1.0, 0.0) else (0.0, 0.0)) in
+  let r = run ~procs:2 (fun ctx -> Dc_apps.fft ctx signal) in
+  Array.iter
+    (fun c -> Alcotest.(check bool) "flat spectrum" true
+        (close_complex 1e-12 (1.0, 0.0) c))
+    (Option.get r.(0))
+
+let test_fft_rejects_non_power_of_two () =
+  let r =
+    run ~procs:2 (fun ctx ->
+        try
+          ignore (Dc_apps.fft ctx (Array.make 6 (0.0, 0.0)));
+          false
+        with Invalid_argument _ -> true)
+  in
+  Alcotest.(check bool) "rejected" true r.(0)
+
+let suite =
+  [
+    ( "d&c applications",
+      [
+        Alcotest.test_case "integrate sin" `Quick test_integrate_sin;
+        Alcotest.test_case "integrate cubic exactly" `Quick
+          test_integrate_polynomial_exact;
+        Alcotest.test_case "poly eval" `Quick test_poly_eval;
+        Alcotest.test_case "poly constant" `Quick test_poly_eval_single_coeff;
+        Alcotest.test_case "fft vs dft" `Quick test_fft_matches_dft;
+        Alcotest.test_case "fft impulse" `Quick test_fft_impulse;
+        Alcotest.test_case "fft non-power rejected" `Quick
+          test_fft_rejects_non_power_of_two;
+      ] );
+  ]

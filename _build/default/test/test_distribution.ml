@@ -1,0 +1,123 @@
+let mk ?(scheme = Distribution.Block) gsize pgrid =
+  Distribution.create ~gsize ~pgrid scheme
+
+(* Every global index is owned by exactly one processor, and that
+   processor's region contains it at a consistent offset. *)
+let check_coverage d =
+  let gsize = Distribution.gsize d in
+  let p = Distribution.nprocs d in
+  let regions = Array.init p (fun rank -> Distribution.region d ~rank) in
+  let seen = Array.map (fun r -> Array.make (Distribution.region_count r) 0) regions in
+  let b = { Index.lower = Array.map (fun _ -> 0) gsize; upper = gsize } in
+  Index.iter b (fun ix ->
+      let o = Distribution.owner d ix in
+      Alcotest.(check bool) "owner in range" true (o >= 0 && o < p);
+      Alcotest.(check bool) "region_mem" true
+        (Distribution.region_mem regions.(o) ix);
+      let off = Distribution.region_offset regions.(o) ix in
+      seen.(o).(off) <- seen.(o).(off) + 1;
+      (* no other processor claims it *)
+      Array.iteri
+        (fun rank reg ->
+          if rank <> o then
+            Alcotest.(check bool) "exclusive" false
+              (Distribution.region_mem reg ix))
+        regions);
+  Array.iter
+    (fun counts ->
+      Array.iter (fun c -> Alcotest.(check int) "each offset once" 1 c) counts)
+    seen
+
+let test_block_coverage () =
+  List.iter check_coverage
+    [
+      mk [| 10 |] [| 3 |];
+      mk [| 12 |] [| 4 |];
+      mk [| 7; 9 |] [| 2; 3 |];
+      mk [| 8; 8 |] [| 4; 1 |];
+      mk [| 5; 11 |] [| 1; 4 |];
+      mk [| 9; 9 |] [| 3; 3 |];
+    ]
+
+let test_cyclic_coverage () =
+  List.iter check_coverage
+    [
+      mk ~scheme:Distribution.Cyclic [| 10; 3 |] [| 3; 1 |];
+      mk ~scheme:(Distribution.Block_cyclic 2) [| 11; 4 |] [| 3; 1 |];
+      mk ~scheme:(Distribution.Block_cyclic 4) [| 8; 2 |] [| 2; 1 |];
+    ]
+
+let test_block_balance () =
+  let d = mk [| 10 |] [| 3 |] in
+  let counts =
+    List.init 3 (fun rank -> Distribution.local_count d ~rank)
+  in
+  Alcotest.(check (list int)) "balanced 10/3" [ 3; 3; 4 ] counts
+
+let test_block_contiguous_rows () =
+  let d = mk [| 8; 5 |] [| 4; 1 |] in
+  match Distribution.region d ~rank:1 with
+  | Distribution.Rect b ->
+      Alcotest.(check (array int)) "lower" [| 2; 0 |] b.Index.lower;
+      Alcotest.(check (array int)) "upper" [| 4; 5 |] b.Index.upper
+  | Distribution.Rows _ -> Alcotest.fail "block should be rectangular"
+
+let test_cyclic_rows () =
+  let d = mk ~scheme:Distribution.Cyclic [| 7; 2 |] [| 3; 1 |] in
+  (match Distribution.region d ~rank:0 with
+   | Distribution.Rows { rows; ncols } ->
+       Alcotest.(check (array int)) "rank 0 rows" [| 0; 3; 6 |] rows;
+       Alcotest.(check int) "ncols" 2 ncols
+   | Distribution.Rect _ -> Alcotest.fail "cyclic should be Rows");
+  match Distribution.region d ~rank:2 with
+  | Distribution.Rows { rows; _ } ->
+      Alcotest.(check (array int)) "rank 2 rows" [| 2; 5 |] rows
+  | Distribution.Rect _ -> Alcotest.fail "cyclic should be Rows"
+
+let test_block_cyclic_owner () =
+  let d = mk ~scheme:(Distribution.Block_cyclic 2) [| 12; 1 |] [| 3; 1 |] in
+  let owners = List.init 12 (fun i -> Distribution.owner d [| i; 0 |]) in
+  Alcotest.(check (list int))
+    "deal blocks of 2"
+    [ 0; 0; 1; 1; 2; 2; 0; 0; 1; 1; 2; 2 ]
+    owners
+
+let test_block_coords_roundtrip () =
+  let d = mk [| 8; 8 |] [| 2; 4 |] in
+  for rank = 0 to 7 do
+    Alcotest.(check int) "roundtrip" rank
+      (Distribution.rank_of_block d (Distribution.block_coords d ~rank))
+  done
+
+let test_invalid () =
+  Alcotest.(check bool) "cyclic 3d rejected" true
+    (try
+       ignore (mk ~scheme:Distribution.Cyclic [| 4 |] [| 2 |]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "cyclic col split rejected" true
+    (try
+       ignore (mk ~scheme:Distribution.Cyclic [| 4; 4 |] [| 2; 2 |]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "dim mismatch rejected" true
+    (try
+       ignore (mk [| 4; 4 |] [| 2 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    ( "distribution",
+      [
+        Alcotest.test_case "block coverage" `Quick test_block_coverage;
+        Alcotest.test_case "cyclic coverage" `Quick test_cyclic_coverage;
+        Alcotest.test_case "block balance" `Quick test_block_balance;
+        Alcotest.test_case "block bounds" `Quick test_block_contiguous_rows;
+        Alcotest.test_case "cyclic rows" `Quick test_cyclic_rows;
+        Alcotest.test_case "block-cyclic owner" `Quick test_block_cyclic_owner;
+        Alcotest.test_case "grid coords roundtrip" `Quick
+          test_block_coords_roundtrip;
+        Alcotest.test_case "invalid args" `Quick test_invalid;
+      ] );
+  ]

@@ -1,0 +1,305 @@
+(* Stencil (ghost cells), task-parallel skeletons and parallel I/O — the
+   future-work extensions. *)
+
+let run ~procs f =
+  Machine.run ~topology:(Topology.mesh ~width:procs ~height:1) f
+
+(* ---------------- stencil ---------------- *)
+
+let jacobi_reference ~n ~m ~steps init =
+  let cur = Array.init (n * m) (fun off -> init (off / m) (off mod m)) in
+  let nxt = Array.copy cur in
+  let cur = ref cur and nxt = ref nxt in
+  for _ = 1 to steps do
+    for r = 0 to n - 1 do
+      for c = 0 to m - 1 do
+        !nxt.((r * m) + c) <-
+          (if r = 0 || c = 0 || r = n - 1 || c = m - 1 then !cur.((r * m) + c)
+           else
+             0.25
+             *. (!cur.(((r - 1) * m) + c)
+                 +. !cur.(((r + 1) * m) + c)
+                 +. !cur.((r * m) + c - 1)
+                 +. !cur.((r * m) + c + 1)))
+      done
+    done;
+    let t = !cur in
+    cur := !nxt;
+    nxt := t
+  done;
+  !cur
+
+let test_jacobi_matches_reference () =
+  let n = 12 and m = 8 and steps = 5 in
+  let init r c = if r = 0 then 100.0 else float_of_int ((r * c) mod 7) in
+  let expected = jacobi_reference ~n ~m ~steps init in
+  List.iter
+    (fun procs ->
+      let r =
+        run ~procs (fun ctx ->
+            let mk g =
+              Skeletons.create ctx ~gsize:[| n; m |] ~distr:Darray.Default g
+            in
+            let a = mk (fun ix -> init ix.(0) ix.(1)) in
+            let b = mk (fun _ -> 0.0) in
+            let cur = ref a and nxt = ref b in
+            for _ = 1 to steps do
+              Stencil.jacobi_step ctx !cur !nxt;
+              let t = !cur in
+              cur := !nxt;
+              nxt := t
+            done;
+            !cur)
+      in
+      let flat = Darray.to_flat r.Machine.values.(0) in
+      Array.iteri
+        (fun i v ->
+          Alcotest.(check (float 1e-12))
+            (Printf.sprintf "p=%d elem %d" procs i)
+            expected.(i) v)
+        flat)
+    [ 1; 2; 3; 4 ]
+
+let test_map_halo_radius2 () =
+  (* sum over a 5-row vertical window needs radius 2 and must still cost
+     only 2 messages per processor *)
+  let n = 10 and m = 3 in
+  let r =
+    run ~procs:2 (fun ctx ->
+        let mk g =
+          Skeletons.create ctx ~gsize:[| n; m |] ~distr:Darray.Default g
+        in
+        let a = mk (fun ix -> ix.(0)) in
+        let b = mk (fun _ -> 0) in
+        let f ~get v ix =
+          let r = ix.(0) in
+          if r < 2 || r >= n - 2 then v
+          else
+            get (r - 2) ix.(1) + get (r - 1) ix.(1) + v + get (r + 1) ix.(1)
+            + get (r + 2) ix.(1)
+        in
+        Stencil.map_halo ctx ~radius:2 ~f a b;
+        b)
+  in
+  let flat = Darray.to_flat r.Machine.values.(0) in
+  Alcotest.(check int) "row 5 window sum" (3 + 4 + 5 + 6 + 7) flat.(5 * m);
+  Alcotest.(check int) "boundary untouched" 0 flat.(0);
+  (* 2 processors, one neighbour each: one halo message per processor,
+     independent of the radius *)
+  Alcotest.(check int) "one halo message per processor" 2
+    (Stats.total_msgs r.Machine.stats)
+
+let test_map_halo_rejects_aliasing () =
+  let r =
+    run ~procs:2 (fun ctx ->
+        let a =
+          Skeletons.create ctx ~gsize:[| 6; 2 |] ~distr:Darray.Default
+            (fun _ -> 0.0)
+        in
+        try
+          Stencil.jacobi_step ctx a a;
+          false
+        with Invalid_argument _ -> true)
+  in
+  Alcotest.(check bool) "aliasing rejected" true r.Machine.values.(0)
+
+(* ---------------- divide & conquer ---------------- *)
+
+let test_dc_sum () =
+  (* sum a range by splitting it *)
+  List.iter
+    (fun procs ->
+      let r =
+        run ~procs (fun ctx ->
+            Task_skel.divide_conquer ctx
+              ~problem_bytes:(fun _ -> 8)
+              ~solution_bytes:(fun _ -> 4)
+              ~is_trivial:(fun (lo, hi) -> hi - lo <= 3)
+              ~solve:(fun (lo, hi) ->
+                let s = ref 0 in
+                for i = lo to hi - 1 do
+                  s := !s + i
+                done;
+                !s)
+              ~divide:(fun (lo, hi) ->
+                let mid = (lo + hi) / 2 in
+                ((lo, mid), (mid, hi)))
+              ~combine:( + )
+              (if Machine.self ctx = 0 then Some (0, 100) else None))
+      in
+      Alcotest.(check (option int))
+        (Printf.sprintf "sum on %d procs" procs)
+        (Some 4950) r.Machine.values.(0);
+      for i = 1 to procs - 1 do
+        Alcotest.(check (option int)) "non-root gets none" None
+          r.Machine.values.(i)
+      done)
+    [ 1; 2; 3; 4; 5; 8 ]
+
+let test_dc_mergesort () =
+  let input = [ 5; 3; 9; 1; 7; 2; 8; 6; 4; 0; 5; 5 ] in
+  let rec merge a b =
+    match (a, b) with
+    | [], l | l, [] -> l
+    | x :: xs, y :: ys ->
+        if x <= y then x :: merge xs b else y :: merge a ys
+  in
+  let r =
+    run ~procs:4 (fun ctx ->
+        Task_skel.divide_conquer ctx
+          ~problem_bytes:(fun l -> 4 * List.length l)
+          ~solution_bytes:(fun l -> 4 * List.length l)
+          ~is_trivial:(fun l -> List.length l <= 1)
+          ~solve:(fun l -> l)
+          ~divide:(fun l ->
+            let rec split k acc = function
+              | rest when k = 0 -> (List.rev acc, rest)
+              | [] -> (List.rev acc, [])
+              | x :: rest -> split (k - 1) (x :: acc) rest
+            in
+            split (List.length l / 2) [] l)
+          ~combine:merge
+          (if Machine.self ctx = 0 then Some input else None))
+  in
+  Alcotest.(check (option (list int)))
+    "sorted"
+    (Some (List.sort compare input))
+    r.Machine.values.(0)
+
+let test_dc_trivial_root_problem () =
+  let r =
+    run ~procs:4 (fun ctx ->
+        Task_skel.divide_conquer ctx
+          ~problem_bytes:(fun _ -> 4)
+          ~solution_bytes:(fun _ -> 4)
+          ~is_trivial:(fun _ -> true)
+          ~solve:(fun x -> x * 2)
+          ~divide:(fun _ -> Alcotest.fail "divide must not run")
+          ~combine:(fun _ _ -> Alcotest.fail "combine must not run")
+          (if Machine.self ctx = 0 then Some 21 else None))
+  in
+  Alcotest.(check (option int)) "trivial" (Some 42) r.Machine.values.(0)
+
+(* ---------------- farm ---------------- *)
+
+let test_farm_results_in_order () =
+  List.iter
+    (fun procs ->
+      let tasks = List.init 23 (fun i -> i) in
+      let r =
+        run ~procs (fun ctx ->
+            Task_skel.farm ctx
+              ~task_bytes:(fun _ -> 4)
+              ~result_bytes:(fun _ -> 4)
+              ~worker:(fun x ->
+                (* uneven cost: big tasks take longer *)
+                Machine.compute ctx (float_of_int (x mod 5) *. 1e-3);
+                x * x)
+              (if Machine.self ctx = 0 then Some tasks else None))
+      in
+      Alcotest.(check (option (list int)))
+        (Printf.sprintf "squares on %d procs" procs)
+        (Some (List.map (fun x -> x * x) tasks))
+        r.Machine.values.(0))
+    [ 1; 2; 3; 5 ]
+
+let test_farm_balances_uneven_tasks () =
+  (* one giant task plus many small ones: dynamic scheduling must clearly
+     beat running the farm on a single processor *)
+  let tasks = 50.0 :: List.init 30 (fun _ -> 5.0) in
+  let farm_time procs =
+    (run ~procs (fun ctx ->
+         Task_skel.farm ctx
+           ~task_bytes:(fun _ -> 8)
+           ~result_bytes:(fun _ -> 8)
+           ~worker:(fun cost ->
+             Machine.compute ctx (cost *. 1e-3);
+             cost)
+           (if Machine.self ctx = 0 then Some tasks else None)))
+      .Machine.time
+  in
+  let serial = farm_time 1 and parallel = farm_time 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "parallel %.4f s beats serial %.4f s by >1.5x" parallel
+       serial)
+    true
+    (parallel *. 1.5 < serial)
+
+let test_farm_empty () =
+  let r =
+    run ~procs:3 (fun ctx ->
+        Task_skel.farm ctx
+          ~task_bytes:(fun _ -> 4)
+          ~result_bytes:(fun _ -> 4)
+          ~worker:(fun (x : int) -> x)
+          (if Machine.self ctx = 0 then Some [] else None))
+  in
+  Alcotest.(check (option (list int))) "empty" (Some []) r.Machine.values.(0)
+
+(* ---------------- parallel I/O ---------------- *)
+
+let test_par_io_roundtrip () =
+  List.iter
+    (fun (procs, stripes) ->
+      let r =
+        run ~procs (fun ctx ->
+            let a =
+              Skeletons.create ctx ~gsize:[| 13; 3 |] ~distr:Darray.Default
+                (fun ix -> (10 * ix.(0)) + ix.(1))
+            in
+            let f = Par_io.write_array ctx ~stripes a in
+            let b =
+              Skeletons.create ctx ~gsize:[| 13; 3 |] ~distr:Darray.Default
+                (fun _ -> -1)
+            in
+            Par_io.read_array ctx f b;
+            (Par_io.bytes_of f, b))
+      in
+      let bytes, b = r.Machine.values.(0) in
+      Alcotest.(check int) "file size" (13 * 3 * 4) bytes;
+      Alcotest.(check (array int))
+        (Printf.sprintf "roundtrip p=%d s=%d" procs stripes)
+        (Array.init 39 (fun off -> (10 * (off / 3)) + (off mod 3)))
+        (Darray.to_flat b))
+    [ (1, 1); (3, 1); (4, 2); (5, 4) ]
+
+let test_par_io_striping_scales () =
+  (* more stripes -> more parallel disk bandwidth -> shorter makespan *)
+  let time stripes =
+    (run ~procs:8 (fun ctx ->
+         let a =
+           Skeletons.create ctx ~gsize:[| 64; 64 |] ~distr:Darray.Default
+             (fun _ -> 1.0)
+         in
+         ignore (Par_io.write_array ctx ~stripes a)))
+      .Machine.time
+  in
+  Alcotest.(check bool) "4 stripes beat 1" true (time 4 < time 1)
+
+let suite =
+  [
+    ( "stencil",
+      [
+        Alcotest.test_case "jacobi vs reference" `Quick
+          test_jacobi_matches_reference;
+        Alcotest.test_case "radius 2 window" `Quick test_map_halo_radius2;
+        Alcotest.test_case "aliasing rejected" `Quick
+          test_map_halo_rejects_aliasing;
+      ] );
+    ( "task skeletons",
+      [
+        Alcotest.test_case "d&c sum" `Quick test_dc_sum;
+        Alcotest.test_case "d&c mergesort" `Quick test_dc_mergesort;
+        Alcotest.test_case "d&c trivial" `Quick test_dc_trivial_root_problem;
+        Alcotest.test_case "farm order" `Quick test_farm_results_in_order;
+        Alcotest.test_case "farm balance" `Quick
+          test_farm_balances_uneven_tasks;
+        Alcotest.test_case "farm empty" `Quick test_farm_empty;
+      ] );
+    ( "parallel io",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_par_io_roundtrip;
+        Alcotest.test_case "striping scales" `Quick
+          test_par_io_striping_scales;
+      ] );
+  ]

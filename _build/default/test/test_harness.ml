@@ -1,0 +1,205 @@
+(* The experiment harness: formatting, figure data, and — most importantly —
+   the shape properties of the reproduced evaluation (DESIGN.md section 5)
+   checked at reduced problem sizes. *)
+
+let test_table_render () =
+  let s =
+    Table.render ~headers:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  let lines =
+    String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "4 lines" 4 (List.length lines);
+  (* all non-empty lines share a width *)
+  (match lines with
+   | header :: rule :: row :: _ ->
+       Alcotest.(check int) "widths match" (String.length header)
+         (String.length rule);
+       Alcotest.(check int) "row width" (String.length header)
+         (String.length row)
+   | _ -> Alcotest.fail "structure");
+  Alcotest.(check string) "fmt_time" "1.23" (Table.fmt_time 1.234);
+  Alcotest.(check string) "fmt_opt none" "-" (Table.fmt_opt Table.fmt_time None)
+
+let test_series_csv () =
+  let s =
+    [ { Series.label = "n = 4"; points = [ (1.0, 2.0); (2.0, 2.5) ] } ]
+  in
+  let csv = Series.to_csv s in
+  Alcotest.(check bool) "header" true
+    (String.length csv > 11 && String.sub csv 0 11 = "series,x,y\n");
+  Alcotest.(check int) "3 lines" 3
+    (List.length (String.split_on_char '\n' (String.trim csv)))
+
+let test_series_plot_smoke () =
+  let s =
+    [
+      { Series.label = "a"; points = [ (4.0, 6.0); (16.0, 5.0) ] };
+      { Series.label = "b"; points = [ (4.0, 2.0) ] };
+    ]
+  in
+  let out = Series.plot ~title:"t" ~xlabel:"p" ~ylabel:"r" s in
+  Alcotest.(check bool) "mentions legend" true
+    (String.length out > 0
+    && String.split_on_char '\n' out
+       |> List.exists (fun l -> l = "   * = a"))
+
+(* ---------------- shape properties at quick sizes ---------------- *)
+
+let table1 = lazy (Experiments.table1 ~quick:true ())
+let table2 = lazy (Experiments.table2 ~quick:true ())
+
+let test_shape_table1 () =
+  let rows = Lazy.force table1 in
+  List.iter
+    (fun r ->
+      (match r.Experiments.sp_dpfl with
+       | Some d ->
+           let ratio = d /. r.Experiments.sp_skil in
+           Alcotest.(check bool)
+             (Printf.sprintf "dpfl ratio %.2f in [3.5, 8]" ratio)
+             true
+             (ratio >= 3.5 && ratio <= 8.0)
+       | None -> ());
+      match r.Experiments.sp_parix_old with
+      | Some c ->
+          Alcotest.(check bool) "skil beats old C" true
+            (r.Experiments.sp_skil < c)
+      | None -> ())
+    rows;
+  (* more processors -> faster *)
+  let times = List.map (fun r -> r.Experiments.sp_skil) rows in
+  Alcotest.(check bool) "monotone speedup" true
+    (List.sort (fun a b -> compare b a) times = times)
+
+let test_shape_table2 () =
+  let rows = Lazy.force table2 in
+  List.iter
+    (fun row ->
+      List.iter
+        (fun c ->
+          (match c.Experiments.g_dpfl with
+           | Some d ->
+               let ratio = d /. c.Experiments.g_skil in
+               Alcotest.(check bool)
+                 (Printf.sprintf "dpfl/skil %.2f in [3, 8]" ratio)
+                 true
+                 (ratio >= 3.0 && ratio <= 8.0)
+           | None -> ());
+          let sc = c.Experiments.g_skil /. c.Experiments.g_parix in
+          Alcotest.(check bool)
+            (Printf.sprintf "skil/C %.2f in [0.8, 3]" sc)
+            true
+            (sc >= 0.8 && sc <= 3.0))
+        row.Experiments.cells;
+      (* larger n -> larger skil/C (the paper's within-row trend) *)
+      let ratios =
+        List.map
+          (fun c -> c.Experiments.g_skil /. c.Experiments.g_parix)
+          row.Experiments.cells
+      in
+      Alcotest.(check bool) "ratio grows with n" true
+        (List.sort compare ratios = ratios))
+    rows;
+  (* same n, more processors -> smaller DPFL/Skil ratio (comm dominates) *)
+  match rows with
+  | r1 :: r2 :: _ ->
+      let ratio_of row n =
+        match
+          List.find_opt (fun c -> c.Experiments.g_n = n) row.Experiments.cells
+        with
+        | Some { Experiments.g_dpfl = Some d; g_skil; _ } -> Some (d /. g_skil)
+        | _ -> None
+      in
+      (match (ratio_of r1 64, ratio_of r2 64) with
+       | Some small_p, Some big_p ->
+           Alcotest.(check bool) "dpfl ratio shrinks with p" true
+             (big_p < small_p)
+       | _ -> Alcotest.fail "missing cells")
+  | _ -> Alcotest.fail "need two rows"
+
+let test_shape_figure1 () =
+  let speedups, slowdowns = Experiments.figure1 (Lazy.force table2) in
+  Alcotest.(check bool) "speedup series exist" true (speedups <> []);
+  Alcotest.(check bool) "slowdown series exist" true (slowdowns <> []);
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (x, y) ->
+          Alcotest.(check bool) "x is a processor count" true
+            (List.mem x [ 4.0; 8.0; 16.0; 32.0; 64.0 ]);
+          Alcotest.(check bool) "speedup positive" true (y > 0.0))
+        s.Series.points)
+    (speedups @ slowdowns)
+
+let test_shape_claim51 () =
+  List.iter
+    (fun r ->
+      let ratio = r.Experiments.m_skil /. r.Experiments.m_parix in
+      Alcotest.(check bool)
+        (Printf.sprintf "matmul skil/C %.2f in [1.05, 1.6]" ratio)
+        true
+        (ratio >= 1.05 && ratio <= 1.6))
+    (Experiments.claim51 ~quick:true ())
+
+let test_shape_claim52 () =
+  List.iter
+    (fun r ->
+      let ratio = r.Experiments.c2_full /. r.Experiments.c2_partial in
+      Alcotest.(check bool)
+        (Printf.sprintf "full/partial %.2f in [1.3, 3]" ratio)
+        true
+        (ratio >= 1.3 && ratio <= 3.0))
+    (Experiments.claim52 ~quick:true ())
+
+let test_shape_scaling () =
+  let rows = Experiments.scaling ~quick:true () in
+  (match rows with
+   | first :: _ ->
+       Alcotest.(check int) "starts at 1 proc" 1 first.Experiments.sc_procs;
+       Alcotest.(check (float 1e-9)) "speedup 1 at p=1" 1.0
+         first.Experiments.sc_speedup
+   | [] -> Alcotest.fail "no rows");
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "efficiency in (0, 1]" true
+        (r.Experiments.sc_efficiency > 0.0
+        && r.Experiments.sc_efficiency <= 1.0001);
+      Alcotest.(check bool) "speedup grows with procs" true
+        (r.Experiments.sc_speedup >= 1.0))
+    rows;
+  let speedups = List.map (fun r -> r.Experiments.sc_speedup) rows in
+  Alcotest.(check bool) "monotone" true
+    (List.sort compare speedups = speedups)
+
+let test_shape_ablations () =
+  let rows = Experiments.ablations ~quick:true () in
+  Alcotest.(check int) "three ablations" 3 (List.length rows);
+  List.iter
+    (fun a ->
+      Alcotest.(check bool)
+        (a.Experiments.ab_name ^ ": variant not faster")
+        true
+        (a.Experiments.ab_time_variant >= a.Experiments.ab_time_baseline *. 0.999);
+      if a.Experiments.ab_name = "translation by instantiation (gauss)" then
+        Alcotest.(check bool) "closures cost > 3x" true
+          (a.Experiments.ab_time_variant
+           > 3.0 *. a.Experiments.ab_time_baseline))
+    rows
+
+let suite =
+  [
+    ( "harness",
+      [
+        Alcotest.test_case "table render" `Quick test_table_render;
+        Alcotest.test_case "series csv" `Quick test_series_csv;
+        Alcotest.test_case "series plot" `Quick test_series_plot_smoke;
+        Alcotest.test_case "shape: table 1" `Slow test_shape_table1;
+        Alcotest.test_case "shape: table 2" `Slow test_shape_table2;
+        Alcotest.test_case "shape: figure 1" `Slow test_shape_figure1;
+        Alcotest.test_case "shape: claim 5.1" `Slow test_shape_claim51;
+        Alcotest.test_case "shape: claim 5.2" `Slow test_shape_claim52;
+        Alcotest.test_case "shape: scaling" `Slow test_shape_scaling;
+        Alcotest.test_case "shape: ablations" `Slow test_shape_ablations;
+      ] );
+  ]

@@ -1,0 +1,70 @@
+let test_volume () =
+  Alcotest.(check int) "2x3x4" 24 (Index.volume [| 2; 3; 4 |]);
+  Alcotest.(check int) "empty dim" 0 (Index.volume [| 5; 0 |]);
+  Alcotest.(check int) "scalar" 1 (Index.volume [||])
+
+let test_contains () =
+  let b = { Index.lower = [| 1; 2 |]; upper = [| 4; 5 |] } in
+  Alcotest.(check bool) "inside" true (Index.contains b [| 1; 2 |]);
+  Alcotest.(check bool) "upper exclusive" false (Index.contains b [| 4; 2 |]);
+  Alcotest.(check bool) "below" false (Index.contains b [| 0; 3 |]);
+  Alcotest.(check bool) "wrong dim" false (Index.contains b [| 2 |])
+
+let test_row_major () =
+  Alcotest.(check int) "origin" 0 (Index.row_major [| 3; 4 |] [| 0; 0 |]);
+  Alcotest.(check int) "last" 11 (Index.row_major [| 3; 4 |] [| 2; 3 |]);
+  Alcotest.(check int) "middle" 7 (Index.row_major [| 3; 4 |] [| 1; 3 |])
+
+let test_local_offset () =
+  let b = { Index.lower = [| 2; 3 |]; upper = [| 5; 7 |] } in
+  Alcotest.(check int) "corner" 0 (Index.local_offset b [| 2; 3 |]);
+  Alcotest.(check int) "step row" 4 (Index.local_offset b [| 3; 3 |]);
+  Alcotest.(check bool) "outside raises" true
+    (try
+       ignore (Index.local_offset b [| 5; 3 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_iter_order () =
+  let b = { Index.lower = [| 0; 0 |]; upper = [| 2; 2 |] } in
+  let acc = ref [] in
+  Index.iter b (fun ix -> acc := Array.copy ix :: !acc);
+  Alcotest.(check (list (array int)))
+    "row major order"
+    [ [| 0; 0 |]; [| 0; 1 |]; [| 1; 0 |]; [| 1; 1 |] ]
+    (List.rev !acc)
+
+let test_iter_offsets_match () =
+  let b = { Index.lower = [| 3; 1 |]; upper = [| 6; 4 |] } in
+  let pos = ref 0 in
+  Index.iter b (fun ix ->
+      Alcotest.(check int) "offset" !pos (Index.local_offset b ix);
+      incr pos);
+  Alcotest.(check int) "count" 9 !pos
+
+let test_iter_empty () =
+  let b = { Index.lower = [| 0; 5 |]; upper = [| 3; 5 |] } in
+  let n = ref 0 in
+  Index.iter b (fun _ -> incr n);
+  Alcotest.(check int) "no calls" 0 !n
+
+let test_iter_1d () =
+  let b = { Index.lower = [| 4 |]; upper = [| 7 |] } in
+  let acc = ref [] in
+  Index.iter b (fun ix -> acc := ix.(0) :: !acc);
+  Alcotest.(check (list int)) "1d" [ 4; 5; 6 ] (List.rev !acc)
+
+let suite =
+  [
+    ( "index",
+      [
+        Alcotest.test_case "volume" `Quick test_volume;
+        Alcotest.test_case "contains" `Quick test_contains;
+        Alcotest.test_case "row_major" `Quick test_row_major;
+        Alcotest.test_case "local_offset" `Quick test_local_offset;
+        Alcotest.test_case "iter order" `Quick test_iter_order;
+        Alcotest.test_case "iter offsets" `Quick test_iter_offsets_match;
+        Alcotest.test_case "iter empty" `Quick test_iter_empty;
+        Alcotest.test_case "iter 1d" `Quick test_iter_1d;
+      ] );
+  ]

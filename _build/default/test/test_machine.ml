@@ -1,0 +1,387 @@
+let run ?cost ~procs f =
+  Machine.run ?cost ~topology:(Topology.mesh ~width:procs ~height:1) f
+
+let test_scheduler_basic () =
+  let s = Scheduler.create () in
+  let log = ref [] in
+  let note x = log := x :: !log in
+  ignore (Scheduler.spawn s (fun () -> note "a"));
+  ignore (Scheduler.spawn s (fun () -> note "b"));
+  Scheduler.run s;
+  Alcotest.(check (list string)) "fifo order" [ "a"; "b" ] (List.rev !log)
+
+let test_scheduler_block_wake () =
+  let s = Scheduler.create () in
+  let log = ref [] in
+  let note x = log := x :: !log in
+  let id0 = ref (-1) in
+  id0 :=
+    Scheduler.spawn s (fun () ->
+        note "start0";
+        Scheduler.block s;
+        note "resumed0");
+  ignore
+    (Scheduler.spawn s (fun () ->
+         note "start1";
+         Scheduler.wake s !id0;
+         note "end1"));
+  Scheduler.run s;
+  Alcotest.(check (list string))
+    "interleaving"
+    [ "start0"; "start1"; "end1"; "resumed0" ]
+    (List.rev !log)
+
+let test_scheduler_deadlock () =
+  let s = Scheduler.create () in
+  ignore (Scheduler.spawn s (fun () -> Scheduler.block s));
+  ignore (Scheduler.spawn s (fun () -> ()));
+  match Scheduler.run s with
+  | () -> Alcotest.fail "expected deadlock"
+  | exception Scheduler.Deadlock [ 0 ] -> ()
+  | exception Scheduler.Deadlock ids ->
+      Alcotest.failf "wrong blocked set (%d ids)" (List.length ids)
+
+let test_spmd_identity () =
+  let r = run ~procs:4 (fun ctx -> Machine.self ctx * 10) in
+  Alcotest.(check (array int)) "values" [| 0; 10; 20; 30 |] r.Machine.values;
+  Alcotest.(check (float 1e-9)) "no time passed" 0.0 r.Machine.time
+
+let test_message_roundtrip () =
+  let r =
+    run ~procs:2 (fun ctx ->
+        match Machine.self ctx with
+        | 0 ->
+            Machine.send ctx ~dest:1 ~tag:7 ~bytes:100 (42, "hello");
+            0
+        | _ ->
+            let x, s = Machine.recv ctx ~src:0 ~tag:7 in
+            if s = "hello" then x else -1)
+  in
+  Alcotest.(check (array int)) "payload intact" [| 0; 42 |] r.Machine.values
+
+let test_recv_before_send () =
+  (* Receiver runs first (rank 0 spawned first) and must suspend. *)
+  let r =
+    run ~procs:2 (fun ctx ->
+        match Machine.self ctx with
+        | 0 -> Machine.recv ctx ~src:1 ~tag:1
+        | _ ->
+            Machine.send ctx ~dest:0 ~tag:1 ~bytes:4 99;
+            0)
+  in
+  Alcotest.(check (array int)) "values" [| 99; 0 |] r.Machine.values
+
+let test_fifo_per_tag () =
+  let r =
+    run ~procs:2 (fun ctx ->
+        match Machine.self ctx with
+        | 0 ->
+            List.iter
+              (fun v -> Machine.send ctx ~dest:1 ~tag:3 ~bytes:4 v)
+              [ 1; 2; 3 ];
+            0
+        | _ ->
+            let a : int = Machine.recv ctx ~src:0 ~tag:3 in
+            let b : int = Machine.recv ctx ~src:0 ~tag:3 in
+            let c : int = Machine.recv ctx ~src:0 ~tag:3 in
+            (100 * a) + (10 * b) + c)
+  in
+  Alcotest.(check int) "fifo" 123 r.Machine.values.(1)
+
+let test_tags_distinguish () =
+  let r =
+    run ~procs:2 (fun ctx ->
+        match Machine.self ctx with
+        | 0 ->
+            Machine.send ctx ~dest:1 ~tag:1 ~bytes:4 10;
+            Machine.send ctx ~dest:1 ~tag:2 ~bytes:4 20;
+            0
+        | _ ->
+            (* receive in the opposite order of sending *)
+            let b : int = Machine.recv ctx ~src:0 ~tag:2 in
+            let a : int = Machine.recv ctx ~src:0 ~tag:1 in
+            (10 * a) + b)
+  in
+  Alcotest.(check int) "tags" 120 r.Machine.values.(1)
+
+let test_deadlock_detection () =
+  Alcotest.check_raises "mutual recv"
+    (Scheduler.Deadlock [ 0; 1 ])
+    (fun () ->
+      ignore
+        (run ~procs:2 (fun ctx ->
+             let other = 1 - Machine.self ctx in
+             let (_ : int) = Machine.recv ctx ~src:other ~tag:0 in
+             ())))
+
+let test_clock_advance () =
+  let r =
+    run ~procs:1 (fun ctx ->
+        Machine.compute ctx 1.5;
+        Machine.compute ctx 0.5;
+        Machine.clock ctx)
+  in
+  Alcotest.(check (float 1e-9)) "clock" 2.0 r.Machine.values.(0);
+  Alcotest.(check (float 1e-9)) "makespan" 2.0 r.Machine.time
+
+let test_charge_profile_factor () =
+  let cost = Cost_model.make Cost_model.dpfl in
+  let r =
+    Machine.run ~cost ~topology:(Topology.mesh ~width:1 ~height:1) (fun ctx ->
+        Machine.charge ctx Cost_model.Kernel ~ops:1000 ~base:1e-3;
+        Machine.clock ctx)
+  in
+  Alcotest.(check (float 1e-6))
+    "dpfl kernel factor" (1000.0 *. 1e-3 *. 7.8) r.Machine.values.(0)
+
+let test_message_timing () =
+  (* One message, 1 hop, 1000 bytes: receiver's clock must be exactly
+     send_overhead + latency + per_hop + 1000*per_byte + recv_overhead. *)
+  let p = Cost_model.transputer in
+  let r =
+    run ~procs:2 (fun ctx ->
+        match Machine.self ctx with
+        | 0 ->
+            Machine.send ctx ~dest:1 ~tag:0 ~bytes:1000 ();
+            Machine.clock ctx
+        | _ ->
+            let () = Machine.recv ctx ~src:0 ~tag:0 in
+            Machine.clock ctx)
+  in
+  let expected_recv =
+    p.Cost_model.send_overhead +. p.Cost_model.msg_latency
+    +. p.Cost_model.per_hop
+    +. (1000.0 *. p.Cost_model.per_byte)
+    +. p.Cost_model.recv_overhead
+  in
+  Alcotest.(check (float 1e-9))
+    "async sender only pays overhead" p.Cost_model.send_overhead
+    r.Machine.values.(0);
+  Alcotest.(check (float 1e-9)) "receiver clock" expected_recv
+    r.Machine.values.(1)
+
+let test_sync_sender_blocks () =
+  let cost = Cost_model.make Cost_model.parix_c_old in
+  let p = cost.Cost_model.params in
+  let cf = Cost_model.parix_c_old.Cost_model.comm_factor in
+  let r =
+    Machine.run ~cost ~topology:(Topology.mesh ~width:2 ~height:1) (fun ctx ->
+        match Machine.self ctx with
+        | 0 ->
+            Machine.send ctx ~dest:1 ~tag:0 ~bytes:1000 ();
+            Machine.clock ctx
+        | _ ->
+            let () = Machine.recv ctx ~src:0 ~tag:0 in
+            0.0)
+  in
+  let expected =
+    cf
+    *. (p.Cost_model.send_overhead +. p.Cost_model.msg_latency
+        +. p.Cost_model.per_hop
+        +. (1000.0 *. p.Cost_model.per_byte))
+  in
+  Alcotest.(check (float 1e-9))
+    "sync sender waits for delivery" expected r.Machine.values.(0)
+
+let test_recv_waits_for_arrival () =
+  let p = Cost_model.transputer in
+  let r =
+    run ~procs:2 (fun ctx ->
+        match Machine.self ctx with
+        | 0 ->
+            Machine.send ctx ~dest:1 ~tag:0 ~bytes:0 ();
+            0.0
+        | _ ->
+            (* Receiver is already busy past the arrival time: no wait. *)
+            Machine.compute ctx 1.0;
+            let () = Machine.recv ctx ~src:0 ~tag:0 in
+            Machine.clock ctx)
+  in
+  Alcotest.(check (float 1e-9))
+    "no wait when late" (1.0 +. p.Cost_model.recv_overhead)
+    r.Machine.values.(1)
+
+let test_self_send () =
+  let r =
+    run ~procs:1 (fun ctx ->
+        Machine.send ctx ~dest:0 ~tag:5 ~bytes:4 7;
+        (Machine.recv ctx ~src:0 ~tag:5 : int))
+  in
+  Alcotest.(check int) "self send" 7 r.Machine.values.(0)
+
+let test_collective_shares_value () =
+  let r =
+    run ~procs:4 (fun ctx ->
+        let v = Machine.collective ctx (fun () -> ref 0) in
+        incr v;
+        (* all four processors must have incremented the same cell *)
+        !v)
+  in
+  Alcotest.(check int) "last increment sees all" 4 r.Machine.values.(3)
+
+let test_tags_unique () =
+  let r =
+    run ~procs:3 (fun ctx ->
+        let a = Machine.tags ctx 2 in
+        let b = Machine.tags ctx 1 in
+        (a, b))
+  in
+  Array.iter
+    (fun (a, b) ->
+      Alcotest.(check int) "consecutive" a (b - 2);
+      Alcotest.(check int) "same everywhere" (fst r.Machine.values.(0)) a)
+    r.Machine.values
+
+let test_trace_records_intervals () =
+  let r =
+    Machine.run ~trace:true ~topology:(Topology.mesh ~width:2 ~height:1)
+      (fun ctx ->
+        if Machine.self ctx = 0 then begin
+          Machine.compute ctx 2.0;
+          Machine.send ctx ~dest:1 ~tag:0 ~bytes:0 ()
+        end
+        else Machine.recv ctx ~src:0 ~tag:0)
+  in
+  let events = Trace.events r.Machine.trace in
+  Alcotest.(check bool) "has compute event" true
+    (List.exists
+       (fun e -> e.Trace.proc = 0 && e.Trace.kind = Trace.Compute
+                 && e.Trace.duration = 2.0)
+       events);
+  Alcotest.(check bool) "receiver waited" true
+    (List.exists
+       (fun e -> e.Trace.proc = 1 && e.Trace.kind = Trace.Wait
+                 && e.Trace.duration > 1.9)
+       events);
+  Alcotest.(check (float 0.05)) "proc 0 fully busy" 1.0
+    (Trace.busy_fraction r.Machine.trace ~proc:0 ~makespan:2.0);
+  let tl =
+    Trace.timeline r.Machine.trace ~nprocs:2 ~makespan:r.Machine.time
+  in
+  Alcotest.(check bool) "timeline rows" true
+    (List.length (String.split_on_char '\n' tl) >= 3)
+
+let test_trace_disabled_is_empty () =
+  let r =
+    Machine.run ~topology:(Topology.mesh ~width:1 ~height:1) (fun ctx ->
+        Machine.compute ctx 1.0)
+  in
+  Alcotest.(check int) "no events" 0
+    (List.length (Trace.events r.Machine.trace))
+
+let test_recv_any_earliest_arrival () =
+  (* two messages with the same tag from different sources: recv_any must
+     take the one that arrived first (fewer hops = earlier) *)
+  let r =
+    Machine.run ~topology:(Topology.mesh ~width:4 ~height:1) (fun ctx ->
+        match Machine.self ctx with
+        | 0 ->
+            let s1, (v1 : int) = Machine.recv_any ctx ~tag:9 in
+            let s2, (v2 : int) = Machine.recv_any ctx ~tag:9 in
+            Machine.compute ctx 0.0;
+            [ (s1, v1); (s2, v2) ]
+        | 1 ->
+            Machine.send ctx ~dest:0 ~tag:9 ~bytes:4 111;
+            []
+        | 3 ->
+            (* 3 hops away: same send time, later arrival *)
+            Machine.send ctx ~dest:0 ~tag:9 ~bytes:4 333;
+            []
+        | _ -> [])
+  in
+  Alcotest.(check (list (pair int int)))
+    "nearest first"
+    [ (1, 111); (3, 333) ]
+    r.Machine.values.(0)
+
+let test_recv_any_blocks_until_send () =
+  let r =
+    Machine.run ~topology:(Topology.mesh ~width:2 ~height:1) (fun ctx ->
+        match Machine.self ctx with
+        | 0 -> fst (Machine.recv_any ctx ~tag:4)
+        | _ ->
+            Machine.compute ctx 1.0;
+            Machine.send ctx ~dest:0 ~tag:4 ~bytes:0 ();
+            -1)
+  in
+  Alcotest.(check int) "received from 1" 1 r.Machine.values.(0)
+
+let test_rendezvous_send_blocks_any_profile () =
+  (* the default profile is async, but ~rendezvous:true must still block *)
+  let r =
+    Machine.run ~topology:(Topology.mesh ~width:2 ~height:1) (fun ctx ->
+        match Machine.self ctx with
+        | 0 ->
+            Machine.send ctx ~rendezvous:true ~dest:1 ~tag:0 ~bytes:10000 ();
+            Machine.clock ctx
+        | _ ->
+            let () = Machine.recv ctx ~src:0 ~tag:0 in
+            0.0)
+  in
+  let p = Cost_model.transputer in
+  Alcotest.(check bool) "sender waited for the transfer" true
+    (r.Machine.values.(0) > 10000.0 *. p.Cost_model.per_byte)
+
+let test_send_bad_dest_rejected () =
+  Alcotest.(check bool) "out of range" true
+    (try
+       ignore
+         (Machine.run ~topology:(Topology.mesh ~width:2 ~height:1)
+            (fun ctx -> Machine.send ctx ~dest:7 ~tag:0 ~bytes:0 ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_stats_counts () =
+  let r =
+    run ~procs:2 (fun ctx ->
+        if Machine.self ctx = 0 then begin
+          Machine.send ctx ~dest:1 ~tag:0 ~bytes:123 ();
+          Machine.send ctx ~dest:1 ~tag:0 ~bytes:77 ()
+        end
+        else begin
+          let () = Machine.recv ctx ~src:0 ~tag:0 in
+          let () = Machine.recv ctx ~src:0 ~tag:0 in
+          ()
+        end)
+  in
+  Alcotest.(check int) "msgs" 2 (Stats.total_msgs r.Machine.stats);
+  Alcotest.(check int) "bytes" 200 (Stats.total_bytes r.Machine.stats)
+
+let suite =
+  [
+    ( "scheduler",
+      [
+        Alcotest.test_case "spawn order" `Quick test_scheduler_basic;
+        Alcotest.test_case "block/wake" `Quick test_scheduler_block_wake;
+        Alcotest.test_case "deadlock" `Quick test_scheduler_deadlock;
+      ] );
+    ( "machine",
+      [
+        Alcotest.test_case "spmd identity" `Quick test_spmd_identity;
+        Alcotest.test_case "message roundtrip" `Quick test_message_roundtrip;
+        Alcotest.test_case "recv before send" `Quick test_recv_before_send;
+        Alcotest.test_case "fifo per tag" `Quick test_fifo_per_tag;
+        Alcotest.test_case "tags distinguish" `Quick test_tags_distinguish;
+        Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+        Alcotest.test_case "clock advance" `Quick test_clock_advance;
+        Alcotest.test_case "profile factor" `Quick test_charge_profile_factor;
+        Alcotest.test_case "message timing" `Quick test_message_timing;
+        Alcotest.test_case "sync sender blocks" `Quick test_sync_sender_blocks;
+        Alcotest.test_case "late receiver" `Quick test_recv_waits_for_arrival;
+        Alcotest.test_case "self send" `Quick test_self_send;
+        Alcotest.test_case "collective" `Quick test_collective_shares_value;
+        Alcotest.test_case "tags" `Quick test_tags_unique;
+        Alcotest.test_case "stats" `Quick test_stats_counts;
+        Alcotest.test_case "recv_any earliest" `Quick
+          test_recv_any_earliest_arrival;
+        Alcotest.test_case "recv_any blocks" `Quick
+          test_recv_any_blocks_until_send;
+        Alcotest.test_case "rendezvous send" `Quick
+          test_rendezvous_send_blocks_any_profile;
+        Alcotest.test_case "bad dest" `Quick test_send_bad_dest_rejected;
+        Alcotest.test_case "trace intervals" `Quick
+          test_trace_records_intervals;
+        Alcotest.test_case "trace disabled" `Quick
+          test_trace_disabled_is_empty;
+      ] );
+  ]
