@@ -3,9 +3,15 @@
    the published values, and runs one Bechamel micro-benchmark per
    table/figure measuring the wall-clock cost of a representative cell.
 
-   Usage: main.exe [--quick] [--csv DIR]
+   Usage: main.exe [--quick] [--csv DIR] [--jobs N] [--json FILE]
                    [table1|table2|figure1|claim51|claim52|ablations|
-                    scaling|bechamel|all]... *)
+                    scaling|bechamel|all]...
+
+   [all] covers every table/figure/claim; the Bechamel micro-benchmarks
+   spend a fixed time quota per cell regardless of simulator speed, so they
+   only run when requested explicitly.  [--jobs N] farms the independent
+   simulation cells out to N domains (default: all cores); the printed
+   tables are bit-identical whatever N is. *)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: wall-clock cost of regenerating one
@@ -63,7 +69,7 @@ let bechamel_tests () =
       (Staged.stage (fun () -> ignore (gauss_cell Gauss.Partial ())));
   ]
 
-let run_bechamel () =
+let run_bechamel ~json () =
   print_endline "== Bechamel: wall-clock cost of one simulation per cell ==";
   let open Bechamel in
   let open Toolkit in
@@ -72,6 +78,7 @@ let run_bechamel () =
   in
   let instance = Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let estimates = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg [ instance ] test in
@@ -79,58 +86,90 @@ let run_bechamel () =
         (fun name raw ->
           match Analyze.OLS.estimates (Analyze.one ols instance raw) with
           | Some [ est ] ->
+              estimates := (name, est /. 1e6) :: !estimates;
               Printf.printf "%-40s %10.3f ms/run\n%!" name (est /. 1e6)
           | Some _ | None -> Printf.printf "%-40s (no estimate)\n%!" name
           | exception _ -> Printf.printf "%-40s (analysis failed)\n%!" name)
         results)
     (List.map (fun t -> Test.make_grouped ~name:"cells" [ t ]) (bechamel_tests ()));
-  print_newline ()
+  print_newline ();
+  match json with
+  | None -> ()
+  | Some file ->
+      (* flat machine-readable dump, used to refresh BENCH_*.json baselines *)
+      let oc = open_out file in
+      output_string oc "{\n";
+      List.iteri
+        (fun i (name, ms) ->
+          Printf.fprintf oc "  %S: %.4f%s\n" name ms
+            (if i = List.length !estimates - 1 then "" else ","))
+        (List.rev !estimates);
+      output_string oc "}\n";
+      close_out oc;
+      Printf.printf "bechamel estimates written to %s\n\n" file
 
 (* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
-  let rec extract_csv = function
-    | "--csv" :: dir :: rest -> (Some dir, rest)
+  let rec extract_opt name = function
+    | [ flag ] when flag = name -> failwith (name ^ " expects a value")
+    | flag :: value :: rest when flag = name ->
+        let v, r = extract_opt name rest in
+        ((if v = None then Some value else v), r)
     | x :: rest ->
-        let d, r = extract_csv rest in
-        (d, x :: r)
+        let v, r = extract_opt name rest in
+        (v, x :: r)
     | [] -> (None, [])
   in
-  let csv_dir, args = extract_csv args in
+  let csv_dir, args = extract_opt "--csv" args in
+  let jobs_arg, args = extract_opt "--jobs" args in
+  let json_file, args = extract_opt "--json" args in
+  let jobs =
+    match jobs_arg with
+    | None -> Pool.default_jobs ()
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n >= 1 -> n
+        | Some _ | None -> failwith "--jobs expects a positive integer")
+  in
   let targets = List.filter (fun a -> a <> "--quick") args in
   let targets = if targets = [] then [ "all" ] else targets in
   let wants t = List.mem t targets || List.mem "all" targets in
-  let t2_memo = ref None in
-  let table2 () =
-    match !t2_memo with
-    | Some r -> r
-    | None ->
-        let r = Experiments.table2 ~quick () in
-        t2_memo := Some r;
-        r
-  in
   Printf.printf
-    "Skil reproduction benchmarks (simulated Parsytec MC, T800 mesh)%s\n\n"
-    (if quick then " [quick]" else "");
+    "Skil reproduction benchmarks (simulated Parsytec MC, T800 mesh)%s [jobs %d]\n\n"
+    (if quick then " [quick]" else "")
+    jobs;
   let t1_memo = ref None in
   let table1 () =
     match !t1_memo with
     | Some r -> r
     | None ->
-        let r = Experiments.table1 ~quick () in
+        let r = Experiments.table1 ~quick ~jobs () in
         t1_memo := Some r;
         r
   in
-  if wants "table1" then Report.print_table1 ~quick ();
+  let t2_memo = ref None in
+  let table2 () =
+    match !t2_memo with
+    | Some r -> r
+    | None ->
+        let r = Experiments.table2 ~quick ~jobs () in
+        t2_memo := Some r;
+        r
+  in
+  if wants "table1" then Report.print_table1 ~jobs ~quick ();
   if wants "table2" then Report.print_table2 (table2 ()) ~quick;
   if wants "figure1" then Report.print_figure1 (table2 ());
-  if wants "claim51" then Report.print_claim51 ~quick ();
-  if wants "claim52" then Report.print_claim52 ~quick ();
-  if wants "ablations" then Report.print_ablations ~quick ();
-  if wants "scaling" then Report.print_scaling ~quick ();
+  if wants "claim51" then Report.print_claim51 ~jobs ~quick ();
+  if wants "claim52" then Report.print_claim52 ~jobs ~quick ();
+  if wants "ablations" then Report.print_ablations ~jobs ~quick ();
+  if wants "scaling" then Report.print_scaling ~jobs ~quick ();
   (match csv_dir with
    | Some dir -> Report.write_csvs ~dir (table1 ()) (table2 ())
    | None -> ());
-  if wants "bechamel" then run_bechamel ()
+  (* explicit-only: Bechamel spends a fixed time quota per cell, which would
+     drown the tables' wall-clock in any speedup measurement of [all] *)
+  if List.mem "bechamel" targets then run_bechamel ~json:json_file ();
+  Pool.shutdown ()

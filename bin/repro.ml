@@ -1,15 +1,33 @@
 (* repro — regenerate the paper's tables and figures (without the Bechamel
-   micro-benchmarks; see bench/main.exe for those). *)
+   micro-benchmarks; see bench/main.exe for those).
+
+   Usage: repro.exe [--quick] [--jobs N]
+
+   Independent simulation cells are dispatched to N domains (default: all
+   cores); the output is bit-identical whatever N is. *)
 
 let () =
-  let quick = Array.exists (( = ) "--quick") Sys.argv in
+  let argv = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" argv in
+  let rec jobs_of = function
+    | [ "--jobs" ] -> failwith "--jobs expects a positive integer"
+    | "--jobs" :: v :: _ -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 -> n
+        | Some _ | None -> failwith "--jobs expects a positive integer")
+    | _ :: rest -> jobs_of rest
+    | [] -> Pool.default_jobs ()
+  in
+  let jobs = jobs_of argv in
   Printf.printf
-    "Skil (HPDC '96) reproduction — simulated Parsytec MC%s\n\n"
-    (if quick then " [quick]" else "");
-  Report.print_table1 ~quick ();
-  let t2 = Experiments.table2 ~quick () in
+    "Skil (HPDC '96) reproduction — simulated Parsytec MC%s [jobs %d]\n\n"
+    (if quick then " [quick]" else "")
+    jobs;
+  Report.print_table1 ~jobs ~quick ();
+  let t2 = Experiments.table2 ~quick ~jobs () in
   Report.print_table2 t2 ~quick;
   Report.print_figure1 t2;
-  Report.print_claim51 ~quick ();
-  Report.print_claim52 ~quick ();
-  Report.print_ablations ~quick ()
+  Report.print_claim51 ~jobs ~quick ();
+  Report.print_claim52 ~jobs ~quick ();
+  Report.print_ablations ~jobs ~quick ();
+  Pool.shutdown ()

@@ -30,9 +30,10 @@ let run ?(pivoting = No_pivot_search) ctx ~n ~matrix =
     (match pivoting with
      | Partial ->
          (* array_fold with make_elemrec / max_abs_in_col k *)
+         let zero = { value = 0.0; row = -1; col = k } in
          let make_elemrec v ix =
            if ix.(1) = k && ix.(0) >= k then { value = v; row = ix.(0); col = k }
-           else { value = 0.0; row = -1; col = k }
+           else zero
          in
          let max_abs_in_col e1 e2 =
            if Float.abs e2.value > Float.abs e1.value then e2 else e1
@@ -48,29 +49,50 @@ let run ?(pivoting = No_pivot_search) ctx ~n ~matrix =
      | No_pivot_search -> Skeletons.copy ctx a b);
     (* copy_pivot, partially applied to the array b and the row number k:
        the owner of row k stores the normalized pivot row in its piv
-       partition, everybody else keeps the old value *)
-    let copy_pivot v ix =
+       partition, everybody else keeps the old value.  The ownership test,
+       the pivot element and the index boxes are all invariant across the
+       map's elements, so they live outside the closure (the row-only
+       Default distribution guarantees row k's owner holds every column). *)
+    let copy_pivot =
       let bds = Skeletons.part_bounds ctx b in
-      if bds.Index.lower.(0) <= k && k < bds.Index.upper.(0) then
-        Skeletons.get_elem ctx b [| k; ix.(1) |]
-        /. Skeletons.get_elem ctx b [| k; k |]
-      else v
+      if bds.Index.lower.(0) <= k && k < bds.Index.upper.(0) then begin
+        let pivot = Skeletons.get_elem ctx b [| k; k |] in
+        let bk = [| k; 0 |] in
+        fun _ ix ->
+          bk.(1) <- ix.(1);
+          Skeletons.get_elem ctx b bk /. pivot
+      end
+      else fun v _ -> v
     in
     Skeletons.map ctx ~cost:Calibration.gauss_elem_op copy_pivot piv piv;
     Skeletons.broadcast_part ctx piv [| Darray.owner a [| k; 0 |]; 0 |];
-    (* eliminate, partially applied to k, b and piv *)
+    (* eliminate, partially applied to k, b and piv.  The multiplier
+       b[i,k] only changes when the map's row-major iteration enters a new
+       row, so it is fetched once per row, not once per element. *)
+    let bik = [| 0; k |] and pvix = [| me; 0 |] in
+    let mult_row = ref (-1) and mult = ref 0.0 in
     let eliminate v ix =
       if ix.(0) = k || ix.(1) < k then v
-      else
-        v
-        -. (Skeletons.get_elem ctx b [| ix.(0); k |]
-            *. Skeletons.get_elem ctx piv [| me; ix.(1) |])
+      else begin
+        if ix.(0) <> !mult_row then begin
+          mult_row := ix.(0);
+          bik.(0) <- ix.(0);
+          mult := Skeletons.get_elem ctx b bik
+        end;
+        pvix.(1) <- ix.(1);
+        v -. (!mult *. Skeletons.get_elem ctx piv pvix)
+      end
     in
     Skeletons.map ctx ~cost:Calibration.gauss_elem_op eliminate b a
   done;
   (* pivot elements were never normalized to 1: divide the result column *)
+  let dix = [| 0; 0 |] in
   let normalize v ix =
-    if ix.(1) = n then v /. Skeletons.get_elem ctx a [| ix.(0); ix.(0) |]
+    if ix.(1) = n then begin
+      dix.(0) <- ix.(0);
+      dix.(1) <- ix.(0);
+      v /. Skeletons.get_elem ctx a dix
+    end
     else v
   in
   Skeletons.map ctx ~cost:Calibration.gauss_elem_op normalize a b;

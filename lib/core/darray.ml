@@ -15,7 +15,10 @@ type 'a t = {
   mutable destroyed : bool;
 }
 
-let next_id = ref 0
+(* Atomic so arrays can be created from several domains at once (the
+   multicore experiment harness runs independent simulations in parallel);
+   ids only need to be distinct, not consecutive. *)
+let next_id = Atomic.make 0
 
 let make ~gsize ~dist ~distr ~elem_bytes init =
   if Distribution.gsize dist <> gsize then
@@ -25,24 +28,20 @@ let make ~gsize ~dist ~distr ~elem_bytes init =
     Array.init nprocs (fun rank ->
         let region = Distribution.region dist ~rank in
         let count = Distribution.region_count region in
-        if count = 0 then { region; data = [||] }
-        else begin
-          (* fill in region order so data.(offset) matches region_offset *)
-          let first = ref None in
-          Distribution.region_iter region (fun ix ->
-              if !first = None then first := Some (init (Array.copy ix)));
-          let v0 = match !first with Some v -> v | None -> assert false in
-          let data = Array.make count v0 in
-          let pos = ref 0 in
-          Distribution.region_iter region (fun ix ->
-              if !pos > 0 then data.(!pos) <- init (Array.copy ix);
-              incr pos);
-          { region; data }
-        end)
+        (* single pass in region order so data.(offset) matches
+           region_offset; [init] receives the iteration's scratch index,
+           avoiding one int array allocation per element *)
+        let data = ref [||] in
+        let pos = ref 0 in
+        Distribution.region_iter region (fun ix ->
+            let v = init ix in
+            if !pos = 0 then data := Array.make count v;
+            !data.(!pos) <- v;
+            incr pos);
+        { region; data = !data })
   in
-  incr next_id;
   {
-    id = !next_id;
+    id = Atomic.fetch_and_add next_id 1;
     dim = Array.length gsize;
     gsize;
     distr;
@@ -76,16 +75,16 @@ let bounds a ~rank =
 let get a ~rank ix =
   check_alive a;
   let p = a.parts.(rank) in
-  if not (Distribution.region_mem p.region ix) then
-    raise (Local_access_violation { rank; index = Array.copy ix });
-  p.data.(Distribution.region_offset p.region ix)
+  let off = Distribution.region_locate p.region ix in
+  if off < 0 then raise (Local_access_violation { rank; index = Array.copy ix });
+  p.data.(off)
 
 let set a ~rank ix v =
   check_alive a;
   let p = a.parts.(rank) in
-  if not (Distribution.region_mem p.region ix) then
-    raise (Local_access_violation { rank; index = Array.copy ix });
-  p.data.(Distribution.region_offset p.region ix) <- v
+  let off = Distribution.region_locate p.region ix in
+  if off < 0 then raise (Local_access_violation { rank; index = Array.copy ix });
+  p.data.(off) <- v
 
 let peek a ix =
   check_alive a;

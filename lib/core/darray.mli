@@ -39,7 +39,10 @@ val make :
   'a t
 (** Allocate all partitions and initialize every element from its global
     index.  Pure host-level allocation; {!Skeletons.create} wraps it in a
-    collective and charges simulated time. *)
+    collective and charges simulated time.
+
+    The index array passed to the initializer is a scratch buffer reused
+    between calls: copy it if you retain it beyond the call. *)
 
 val dim : 'a t -> int
 val gsize : 'a t -> Index.size

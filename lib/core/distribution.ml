@@ -138,6 +138,33 @@ let region_offset reg ix =
       | Some _ | None ->
           invalid_arg "Distribution.region_offset: index not in region")
 
+let region_locate reg ix =
+  (* membership test and offset computation fused into one traversal: this
+     sits under every Darray.get/set on the simulator's per-element path *)
+  match reg with
+  | Rect b ->
+      let dim = Array.length b.lower in
+      if Array.length ix <> dim then -1
+      else begin
+        let off = ref 0 in
+        let d = ref 0 in
+        while
+          !d < dim
+          && ix.(!d) >= b.lower.(!d)
+          && ix.(!d) < b.upper.(!d)
+        do
+          off := (!off * (b.upper.(!d) - b.lower.(!d))) + (ix.(!d) - b.lower.(!d));
+          incr d
+        done;
+        if !d = dim then !off else -1
+      end
+  | Rows { rows; ncols } ->
+      if Array.length ix <> 2 || ix.(1) < 0 || ix.(1) >= ncols then -1
+      else (
+        match find_row rows ix.(0) with
+        | Some pos -> (pos * ncols) + ix.(1)
+        | None -> -1)
+
 let region_iter reg f =
   match reg with
   | Rect b -> Index.iter b f

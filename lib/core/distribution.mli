@@ -49,6 +49,11 @@ val region_offset : region -> Index.t -> int
 (** Row-major offset of a global index inside the region's local storage.
     @raise Invalid_argument if not a member. *)
 
+val region_locate : region -> Index.t -> int
+(** [region_offset] and [region_mem] fused into a single traversal: the
+    offset of the index, or [-1] if it is not a member.  This is the
+    per-element access path used by [Darray.get]/[Darray.set]. *)
+
 val region_iter : region -> (Index.t -> unit) -> unit
 (** Iterate global indices of the region in local-storage order.  The index
     array passed to the callback is reused; copy it if kept. *)

@@ -40,12 +40,16 @@ let create ctx ?(elem_bytes = Calibration.elem_bytes)
   a
 
 let destroy ctx a =
-  skeleton ctx;
   (* Deallocation takes effect when the slowest processor reaches it: faster
-     processors must not invalidate partitions their peers are still using. *)
+     processors must not invalidate partitions their peers are still using.
+     This processor's share of the countdown is consumed *before* the
+     skeleton-call overhead is charged: should anything later in this fiber
+     raise, the peers can still drive the counter to zero and reclaim the
+     array instead of leaking it forever. *)
   let remaining = Machine.collective ctx (fun () -> ref (Machine.nprocs ctx)) in
   decr remaining;
-  if !remaining = 0 then Darray.mark_destroyed a
+  if !remaining = 0 then Darray.mark_destroyed a;
+  skeleton ctx
 
 (* ------------------------------------------------------------------ *)
 (* Local access                                                        *)
@@ -223,7 +227,10 @@ let permute_rows ctx (src : 'a Darray.t) perm (dst : 'a Darray.t) =
     (fun (owner, _s, d) ->
       let segment : 'a array = Machine.recv ctx ~src:owner ~tag in
       let off = Distribution.region_offset pd.Darray.region [| d; col_lo |] in
-      Array.blit segment 0 pd.Darray.data off width)
+      Array.blit segment 0 pd.Darray.data off width;
+      (* landing a received row in the partition is the same memory copy the
+         local-move branch already pays — charge it symmetrically *)
+      Machine.charge_copy ctx ~bytes:row_bytes)
     incoming
 
 (* ------------------------------------------------------------------ *)

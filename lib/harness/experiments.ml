@@ -3,6 +3,14 @@ let seed = 1996
 let time_of profile topology f =
   (Machine.run ~cost:(Cost_model.make profile) ~topology f).Machine.time
 
+(* Every table/figure/claim below is regenerated from a batch of
+   *independent* simulation cells: each thunk runs one self-contained
+   [Machine.run] (no mutable state is shared between cells — topologies are
+   immutable and workloads are pure hashes), so batches can be dispatched to
+   a multicore pool.  Results come back in submission order, making the
+   output bit-identical whatever [jobs] is. *)
+let run_cells ~jobs thunks = Array.of_list (Pool.run ~jobs thunks)
+
 (* ------------------------------------------------------------------ *)
 (* Table 1: shortest paths on sqrtp x sqrtp tori, n ~ 200              *)
 
@@ -30,35 +38,54 @@ let sp_run ctx ~n =
   let a = Shortest_paths.run ctx ~n ~weight in
   Skeletons.destroy ctx a
 
-let table1 ?(quick = false) () =
+let table1 ?(quick = false) ?(jobs = 1) () =
   let base_n = if quick then 36 else 200 in
   let sqrtps = if quick then [ 2; 3; 4 ] else [ 2; 3; 4; 5; 6; 7; 8 ] in
   let comparison_points = if quick then [ 2; 4 ] else [ 2; 4; 6; 8 ] in
-  List.map
-    (fun q ->
-      let n = Shortest_paths.adjusted_n ~n:base_n ~q in
-      let torus = Topology.torus2d ~width:q ~height:q () in
-      let sp_skil = time_of Cost_model.skil torus (fun ctx -> sp_run ctx ~n) in
-      let measured_comparators = List.mem q comparison_points in
-      let sp_dpfl =
-        if measured_comparators then
-          Some (time_of Cost_model.dpfl torus (fun ctx -> sp_run ctx ~n))
-        else None
-      in
-      let sp_parix_old =
-        if measured_comparators then
-          let naive =
-            Topology.torus2d ~embedding_optimized:false ~width:q ~height:q ()
-          in
-          Some
-            (time_of Cost_model.parix_c_old naive (fun ctx ->
-                 ignore
-                   (Parix_c.shortest_paths ctx ~n
-                      ~weight:(Workload.graph_weight ~seed ~n ~max_weight:100))))
-        else None
-      in
-      { sqrtp = q; sp_n = n; sp_skil; sp_dpfl; sp_parix_old })
-    sqrtps
+  let rows =
+    List.map
+      (fun q ->
+        let n = Shortest_paths.adjusted_n ~n:base_n ~q in
+        (q, n, List.mem q comparison_points))
+      sqrtps
+  in
+  let thunks =
+    List.concat_map
+      (fun (q, n, measured) ->
+        let torus = Topology.torus2d ~width:q ~height:q () in
+        let naive =
+          Topology.torus2d ~embedding_optimized:false ~width:q ~height:q ()
+        in
+        [
+          (fun () ->
+            Some (time_of Cost_model.skil torus (fun ctx -> sp_run ctx ~n)));
+          (fun () ->
+            if measured then
+              Some (time_of Cost_model.dpfl torus (fun ctx -> sp_run ctx ~n))
+            else None);
+          (fun () ->
+            if measured then
+              Some
+                (time_of Cost_model.parix_c_old naive (fun ctx ->
+                     ignore
+                       (Parix_c.shortest_paths ctx ~n
+                          ~weight:
+                            (Workload.graph_weight ~seed ~n ~max_weight:100))))
+            else None);
+        ])
+      rows
+  in
+  let res = run_cells ~jobs thunks in
+  List.mapi
+    (fun i (q, n, _) ->
+      {
+        sqrtp = q;
+        sp_n = n;
+        sp_skil = Option.get res.(3 * i);
+        sp_dpfl = res.((3 * i) + 1);
+        sp_parix_old = res.((3 * i) + 2);
+      })
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* Table 2: Gaussian elimination without pivot search                  *)
@@ -131,32 +158,51 @@ let dpfl_measured (w, h) n = not ((w, h) = (4, 4) && n = 640)
 
 let quick_cells = [ ((2, 2), [ 32; 64 ]); ((4, 2), [ 32; 64 ]) ]
 
-let table2 ?(quick = false) () =
+let table2 ?(quick = false) ?(jobs = 1) () =
   let grid_spec = if quick then quick_cells else full_cells in
+  let flat_cells =
+    List.concat_map
+      (fun ((w, h), ns) -> List.map (fun n -> ((w, h), n)) ns)
+      grid_spec
+  in
+  let thunks =
+    List.concat_map
+      (fun ((w, h), n) ->
+        let topo = Topology.mesh ~width:w ~height:h in
+        [
+          (fun () ->
+            Some (time_of Cost_model.skil topo (fun ctx -> gauss_run ctx ~n)));
+          (fun () ->
+            if dpfl_measured (w, h) n then
+              Some (time_of Cost_model.dpfl topo (fun ctx -> gauss_run ctx ~n))
+            else None);
+          (fun () ->
+            Some
+              (time_of Cost_model.parix_c topo (fun ctx ->
+                   ignore
+                     (Parix_c.gauss ctx ~n
+                        ~matrix:(Workload.gauss_matrix ~seed ~n)))));
+        ])
+      flat_cells
+  in
+  let res = run_cells ~jobs thunks in
+  let celli = ref 0 in
   List.map
-    (fun ((w, h), ns) ->
-      let topo = Topology.mesh ~width:w ~height:h in
+    (fun (grid, ns) ->
       let cells =
         List.map
           (fun n ->
-            let g_skil =
-              time_of Cost_model.skil topo (fun ctx -> gauss_run ctx ~n)
-            in
-            let g_dpfl =
-              if dpfl_measured (w, h) n then
-                Some (time_of Cost_model.dpfl topo (fun ctx -> gauss_run ctx ~n))
-              else None
-            in
-            let g_parix =
-              time_of Cost_model.parix_c topo (fun ctx ->
-                  ignore
-                    (Parix_c.gauss ctx ~n
-                       ~matrix:(Workload.gauss_matrix ~seed ~n)))
-            in
-            { g_n = n; g_skil; g_dpfl; g_parix })
+            let i = !celli in
+            incr celli;
+            {
+              g_n = n;
+              g_skil = Option.get res.(3 * i);
+              g_dpfl = res.((3 * i) + 1);
+              g_parix = Option.get res.((3 * i) + 2);
+            })
           ns
       in
-      { grid = (w, h); cells })
+      { grid; cells })
     grid_spec
 
 let figure1 rows =
@@ -192,23 +238,30 @@ let figure1 rows =
 
 type claim51_row = { m_n : int; m_skil : float; m_parix : float }
 
-let claim51 ?(quick = false) () =
+let claim51 ?(quick = false) ?(jobs = 1) () =
   let cases =
     if quick then [ (2, 32) ] else [ (4, 128); (4, 256); (8, 256); (8, 512) ]
   in
-  List.map
-    (fun (q, n) ->
-      let torus = Topology.torus2d ~width:q ~height:q () in
-      let af = Workload.float_matrix ~seed and bf = Workload.float_matrix ~seed:(seed + 9) in
-      let m_skil =
-        time_of Cost_model.skil torus (fun ctx ->
-            Skeletons.destroy ctx (Matmul.run ctx ~n ~a:af ~b:bf))
-      in
-      let m_parix =
-        time_of Cost_model.parix_c torus (fun ctx ->
-            ignore (Parix_c.matmul ctx ~n ~a:af ~b:bf))
-      in
-      { m_n = n; m_skil; m_parix })
+  let thunks =
+    List.concat_map
+      (fun (q, n) ->
+        let torus = Topology.torus2d ~width:q ~height:q () in
+        let af = Workload.float_matrix ~seed
+        and bf = Workload.float_matrix ~seed:(seed + 9) in
+        [
+          (fun () ->
+            time_of Cost_model.skil torus (fun ctx ->
+                Skeletons.destroy ctx (Matmul.run ctx ~n ~a:af ~b:bf)));
+          (fun () ->
+            time_of Cost_model.parix_c torus (fun ctx ->
+                ignore (Parix_c.matmul ctx ~n ~a:af ~b:bf)));
+        ])
+      cases
+  in
+  let res = run_cells ~jobs thunks in
+  List.mapi
+    (fun i (_q, n) ->
+      { m_n = n; m_skil = res.(2 * i); m_parix = res.((2 * i) + 1) })
     cases
 
 (* ------------------------------------------------------------------ *)
@@ -221,24 +274,33 @@ type claim52_row = {
   c2_full : float;
 }
 
-let claim52 ?(quick = false) () =
+let claim52 ?(quick = false) ?(jobs = 1) () =
   let cases =
     if quick then [ ((2, 2), 32) ]
     else [ ((4, 4), 128); ((4, 4), 256); ((8, 4), 256); ((8, 8), 384) ]
   in
-  List.map
-    (fun ((w, h), n) ->
-      let topo = Topology.mesh ~width:w ~height:h in
-      let matrix = Workload.gauss_matrix_wild ~seed ~n in
-      let run pivoting ctx =
-        Skeletons.destroy ctx (Gauss.run ~pivoting ctx ~n ~matrix)
-      in
+  let thunks =
+    List.concat_map
+      (fun ((w, h), n) ->
+        let topo = Topology.mesh ~width:w ~height:h in
+        let matrix = Workload.gauss_matrix_wild ~seed ~n in
+        let run pivoting ctx =
+          Skeletons.destroy ctx (Gauss.run ~pivoting ctx ~n ~matrix)
+        in
+        [
+          (fun () -> time_of Cost_model.skil topo (run Gauss.No_pivot_search));
+          (fun () -> time_of Cost_model.skil topo (run Gauss.Partial));
+        ])
+      cases
+  in
+  let res = run_cells ~jobs thunks in
+  List.mapi
+    (fun i ((w, h), n) ->
       {
         c2_grid = (w, h);
         c2_n = n;
-        c2_partial =
-          time_of Cost_model.skil topo (run Gauss.No_pivot_search);
-        c2_full = time_of Cost_model.skil topo (run Gauss.Partial);
+        c2_partial = res.(2 * i);
+        c2_full = res.((2 * i) + 1);
       })
     cases
 
@@ -252,19 +314,24 @@ type scaling_row = {
   sc_efficiency : float;
 }
 
-let scaling ?(quick = false) () =
+let scaling ?(quick = false) ?(jobs = 1) () =
   let n = if quick then 32 else 128 in
   let weight = Workload.graph_weight ~seed ~n ~max_weight:100 in
   let qs = if quick then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ] in
-  let time q =
-    time_of Cost_model.skil
-      (Topology.torus2d ~width:q ~height:q ())
-      (fun ctx -> Skeletons.destroy ctx (Shortest_paths.run ctx ~n ~weight))
+  let thunks =
+    List.map
+      (fun q ->
+        let torus = Topology.torus2d ~width:q ~height:q () in
+        fun () ->
+          time_of Cost_model.skil torus (fun ctx ->
+              Skeletons.destroy ctx (Shortest_paths.run ctx ~n ~weight)))
+      qs
   in
-  let base = time 1 in
-  List.map
-    (fun q ->
-      let t = time q in
+  let res = run_cells ~jobs thunks in
+  let base = res.(0) (* qs always starts at q = 1 *) in
+  List.mapi
+    (fun i q ->
+      let t = res.(i) in
       let p = q * q in
       {
         sc_procs = p;
@@ -285,30 +352,28 @@ type ablation = {
   ab_time_variant : float;
 }
 
-let ablations ?(quick = false) () =
+let ablations ?(quick = false) ?(jobs = 1) () =
   (* communication-sensitive configuration: small partitions on a larger
      grid, so topology distance and overlap actually show up *)
   let q = if quick then 4 else 8 in
   let n = if quick then 16 else 64 in
   let weight = Workload.graph_weight ~seed ~n ~max_weight:100 in
   let torus = Topology.torus2d ~width:q ~height:q () in
-  let naive = Topology.torus2d ~embedding_optimized:false ~width:q ~height:q () in
-  let sp profile topo =
+  let sp profile topo () =
     time_of profile topo (fun ctx ->
         Skeletons.destroy ctx (Shortest_paths.run ctx ~n ~weight))
   in
   let sync_skil = { Cost_model.skil with Cost_model.sync_comm = true } in
   let gauss_n = if quick then 32 else 128 in
   let mesh = Topology.mesh ~width:q ~height:(if quick then 2 else 4) in
-  let gauss_time profile =
+  let gauss_time profile () =
     time_of profile mesh (fun ctx -> gauss_run ctx ~n:gauss_n)
   in
-  ignore naive;
   (* A Gauss-like triangular sweep (iteration k touches only rows >= k):
      with the paper's block distribution the live rows concentrate on the
      last processors, while the future-work cyclic layout keeps every sweep
      balanced.  Real elimination work is charged per live local row. *)
-  let triangular scheme =
+  let triangular scheme () =
     let nt = if quick then 48 else 192 in
     let m = nt + 1 in
     time_of Cost_model.skil mesh (fun ctx ->
@@ -330,26 +395,37 @@ let ablations ?(quick = false) () =
         done;
         Skeletons.destroy ctx a)
   in
+  let res =
+    run_cells ~jobs
+      [
+        triangular Distribution.Cyclic;
+        triangular Distribution.Block;
+        sp Cost_model.skil torus;
+        sp sync_skil torus;
+        gauss_time Cost_model.skil;
+        gauss_time Cost_model.dpfl;
+      ]
+  in
   [
     {
       ab_name = "cyclic distribution (triangular sweep)";
       ab_baseline = "block-cyclic rows (extension)";
-      ab_time_baseline = triangular Distribution.Cyclic;
+      ab_time_baseline = res.(0);
       ab_variant = "block rows (paper)";
-      ab_time_variant = triangular Distribution.Block;
+      ab_time_variant = res.(1);
     };
     {
       ab_name = "communication overlap (shpaths)";
       ab_baseline = "asynchronous sends";
-      ab_time_baseline = sp Cost_model.skil torus;
+      ab_time_baseline = res.(2);
       ab_variant = "synchronous sends";
-      ab_time_variant = sp sync_skil torus;
+      ab_time_variant = res.(3);
     };
     {
       ab_name = "translation by instantiation (gauss)";
       ab_baseline = "instantiated (Skil)";
-      ab_time_baseline = gauss_time Cost_model.skil;
+      ab_time_baseline = res.(4);
       ab_variant = "closure-based (DPFL model)";
-      ab_time_variant = gauss_time Cost_model.dpfl;
+      ab_time_variant = res.(5);
     };
   ]

@@ -1,6 +1,11 @@
 (** Runners that regenerate every table and figure of the paper's evaluation
     (section 5).  All times are simulated seconds on the modeled Parsytec MC;
-    [quick] shrinks problem sizes for tests and smoke runs. *)
+    [quick] shrinks problem sizes for tests and smoke runs.
+
+    Every cell of every table is an independent deterministic simulation, so
+    the runners dispatch cells through {!Pool}: [jobs] (default 1) caps the
+    number of domains used.  Whatever [jobs] is, results are bit-identical —
+    only wall-clock time changes. *)
 
 (** {1 Table 1 — shortest paths} *)
 
@@ -12,7 +17,7 @@ type sp_row = {
   sp_parix_old : float option;
 }
 
-val table1 : ?quick:bool -> unit -> sp_row list
+val table1 : ?quick:bool -> ?jobs:int -> unit -> sp_row list
 
 val paper_table1 : (int * float option * float * float option) list
 (** [(sqrtp, dpfl, skil, old_c)] as published. *)
@@ -28,7 +33,7 @@ type gauss_cell = {
 
 type gauss_row = { grid : int * int; cells : gauss_cell list }
 
-val table2 : ?quick:bool -> unit -> gauss_row list
+val table2 : ?quick:bool -> ?jobs:int -> unit -> gauss_row list
 
 val paper_table2 : ((int * int) * (int * float * float option * float) list) list
 (** [(grid, [(n, skil, dpfl_over_skil, skil_over_c)])] as published. *)
@@ -42,7 +47,7 @@ val figure1 : gauss_row list -> Series.t list * Series.t list
 
 type claim51_row = { m_n : int; m_skil : float; m_parix : float }
 
-val claim51 : ?quick:bool -> unit -> claim51_row list
+val claim51 : ?quick:bool -> ?jobs:int -> unit -> claim51_row list
 (** Equally-optimized comparison: classical matrix multiplication, Skil's
     [array_gen_mult] vs hand-written Cannon in C ("around 20% slower"). *)
 
@@ -53,7 +58,7 @@ type claim52_row = {
   c2_full : float;
 }
 
-val claim52 : ?quick:bool -> unit -> claim52_row list
+val claim52 : ?quick:bool -> ?jobs:int -> unit -> claim52_row list
 (** Complete Gauss (pivot search + exchange) vs the Table 2 variant
     ("about twice as long"). *)
 
@@ -66,7 +71,7 @@ type scaling_row = {
   sc_efficiency : float;
 }
 
-val scaling : ?quick:bool -> unit -> scaling_row list
+val scaling : ?quick:bool -> ?jobs:int -> unit -> scaling_row list
 (** Fixed-size shortest paths across growing square tori — the classic
     strong-scaling view the paper's tables imply but never plot. *)
 
@@ -80,7 +85,7 @@ type ablation = {
   ab_time_variant : float;
 }
 
-val ablations : ?quick:bool -> unit -> ablation list
+val ablations : ?quick:bool -> ?jobs:int -> unit -> ablation list
 
 (** {1 Shared helpers} *)
 

@@ -1,0 +1,167 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* One persistent crew of worker domains serving batches of indexed tasks.
+   A batch is a closure [run : int -> unit] plus a count; workers (and the
+   submitting domain) claim indices under the mutex and execute them outside
+   it.  [run] is required to never raise: the submitter wraps user code and
+   stores outcomes per index. *)
+
+type crew = {
+  size : int; (* worker domains, excluding the caller *)
+  mutex : Mutex.t;
+  work : Condition.t; (* new batch available / shutdown *)
+  idle : Condition.t; (* batch fully drained *)
+  mutable batch : (int -> unit) option;
+  mutable batch_n : int;
+  mutable next : int; (* next unclaimed index *)
+  mutable active : int; (* claimed but not yet finished *)
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let crew_finish_item c =
+  Mutex.lock c.mutex;
+  c.active <- c.active - 1;
+  if c.active = 0 && c.next >= c.batch_n then begin
+    c.batch <- None;
+    Condition.broadcast c.idle
+  end;
+  Mutex.unlock c.mutex
+
+(* Claim and run items of the current batch until it drains; caller holds the
+   mutex on entry and on exit. *)
+let crew_drain c =
+  let continue_ = ref true in
+  while !continue_ do
+    match c.batch with
+    | Some run when c.next < c.batch_n ->
+        let i = c.next in
+        c.next <- c.next + 1;
+        c.active <- c.active + 1;
+        Mutex.unlock c.mutex;
+        run i;
+        crew_finish_item c;
+        Mutex.lock c.mutex
+    | Some _ | None -> continue_ := false
+  done
+
+let worker c () =
+  Mutex.lock c.mutex;
+  let rec loop () =
+    crew_drain c;
+    if not c.stop then begin
+      Condition.wait c.work c.mutex;
+      loop ()
+    end
+  in
+  loop ();
+  Mutex.unlock c.mutex
+
+let spawn_crew size =
+  let c =
+    {
+      size;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      batch = None;
+      batch_n = 0;
+      next = 0;
+      active = 0;
+      stop = false;
+      domains = [];
+    }
+  in
+  c.domains <- List.init size (fun _ -> Domain.spawn (worker c));
+  c
+
+let crew_submit c run n =
+  Mutex.lock c.mutex;
+  assert (c.batch = None);
+  c.batch <- Some run;
+  c.batch_n <- n;
+  c.next <- 0;
+  c.active <- 0;
+  Condition.broadcast c.work;
+  (* the submitting domain works too, then waits for stragglers *)
+  crew_drain c;
+  while c.batch <> None do
+    Condition.wait c.idle c.mutex
+  done;
+  Mutex.unlock c.mutex
+
+let crew_shutdown c =
+  Mutex.lock c.mutex;
+  c.stop <- true;
+  Condition.broadcast c.work;
+  Mutex.unlock c.mutex;
+  List.iter Domain.join c.domains;
+  c.domains <- []
+
+(* The cached crew, resized lazily when a different [jobs] is requested.
+   Guarded by a host-level mutex: batches themselves are submitted one at a
+   time (the harness is sequential between tables), but tests may exercise
+   map from several places. *)
+let cached : crew option ref = ref None
+let cached_mutex = Mutex.create ()
+
+let with_crew ~workers f =
+  Mutex.lock cached_mutex;
+  let c =
+    match !cached with
+    | Some c when c.size = workers -> c
+    | Some c ->
+        crew_shutdown c;
+        let c = spawn_crew workers in
+        cached := Some c;
+        c
+    | None ->
+        let c = spawn_crew workers in
+        cached := Some c;
+        c
+  in
+  Fun.protect ~finally:(fun () -> Mutex.unlock cached_mutex) (fun () -> f c)
+
+let shutdown () =
+  Mutex.lock cached_mutex;
+  (match !cached with Some c -> crew_shutdown c | None -> ());
+  cached := None;
+  Mutex.unlock cached_mutex
+
+type 'b outcome =
+  | Pending
+  | Done of 'b
+  | Raised of exn * Printexc.raw_backtrace
+
+let collect outcomes =
+  (* first failure in submission order wins, as in a sequential run *)
+  Array.iter
+    (function
+      | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+      | Done _ | Pending -> ())
+    outcomes;
+  Array.to_list
+    (Array.map
+       (function Done v -> v | Pending | Raised _ -> assert false)
+       outcomes)
+
+let map ?(jobs = default_jobs ()) f xs =
+  if jobs < 1 then invalid_arg "Pool.map: jobs must be >= 1";
+  match xs with
+  | [] -> []
+  | xs when jobs = 1 || List.compare_length_with xs 1 <= 0 -> List.map f xs
+  | xs ->
+      let items = Array.of_list xs in
+      let n = Array.length items in
+      let outcomes = Array.make n Pending in
+      let run i =
+        outcomes.(i) <-
+          (match f items.(i) with
+          | v -> Done v
+          | exception e -> Raised (e, Printexc.get_raw_backtrace ()))
+      in
+      let workers = min (jobs - 1) (n - 1) in
+      with_crew ~workers (fun c -> crew_submit c run n);
+      collect outcomes
+
+let run ?jobs thunks = map ?jobs (fun f -> f ()) thunks

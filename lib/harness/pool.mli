@@ -1,0 +1,31 @@
+(** Fixed-size multicore work pool for independent simulation cells.
+
+    Every experiment in the reproduction pipeline is a set of *independent*
+    deterministic simulations ({!Machine.run} shares no mutable state between
+    calls), so they can be farmed out to OCaml 5 domains freely: the results
+    are bit-identical to a sequential run, only the wall clock changes.
+
+    The pool is a plain [Domain] + [Mutex]/[Condition] work queue — no
+    external dependencies.  Worker domains persist across batches, so the
+    spawn cost is paid once per process, not once per table. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the whole machine. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] applies [f] to every element of [xs] on up to [jobs]
+    domains (the calling domain participates, so [jobs = 1] runs plain
+    sequential code on the current domain and spawns nothing).  Results are
+    returned in submission order regardless of completion order.
+
+    If one or more applications raise, the exception of the *lowest-indexed*
+    failing element is re-raised (with its backtrace) after the whole batch
+    has drained — the same exception a sequential [List.map] would surface
+    first, so behaviour is independent of [jobs]. *)
+
+val run : ?jobs:int -> (unit -> 'a) list -> 'a list
+(** [run ~jobs thunks] = [map ~jobs (fun f -> f ()) thunks]. *)
+
+val shutdown : unit -> unit
+(** Join the cached worker domains (idempotent).  Subsequent calls to {!map}
+    respawn them on demand; mainly for tests and clean process exit. *)

@@ -7,11 +7,11 @@ let opt = Table.fmt_opt
 
 (* ------------------------------------------------------------------ *)
 
-let print_table1 ~quick () =
+let print_table1 ?(jobs = 1) ~quick () =
   print_endline "== Table 1: shortest paths in graphs (n ~ 200) ==";
   if quick then
     print_endline "   (quick mode: n ~ 36, sqrt p in {2,3,4} — shapes only)";
-  let rows = Experiments.table1 ~quick () in
+  let rows = Experiments.table1 ~quick ~jobs () in
   let paper q =
     List.find_opt (fun (q', _, _, _) -> q' = q) Experiments.paper_table1
   in
@@ -127,12 +127,12 @@ let print_figure1 rows =
 
 (* ------------------------------------------------------------------ *)
 
-let print_claim51 ~quick () =
+let print_claim51 ?(jobs = 1) ~quick () =
   print_endline
     "== Claim (section 5.1): equally optimized matmul, Skil vs Parix-C ==";
   print_endline
     "   paper: \"Skil times around 20% slower than direct C times\"";
-  let rows = Experiments.claim51 ~quick () in
+  let rows = Experiments.claim51 ~quick ~jobs () in
   let body =
     List.map
       (fun r ->
@@ -148,11 +148,11 @@ let print_claim51 ~quick () =
     (Table.render ~headers:[ "n"; "Skil(s)"; "C(s)"; "Skil/C" ] body);
   print_newline ()
 
-let print_claim52 ~quick () =
+let print_claim52 ?(jobs = 1) ~quick () =
   print_endline
     "== Claim (section 5.2): complete gauss vs no-pivot-search version ==";
   print_endline "   paper: \"run-times about twice as long\"";
-  let rows = Experiments.claim52 ~quick () in
+  let rows = Experiments.claim52 ~quick ~jobs () in
   let body =
     List.map
       (fun r ->
@@ -172,9 +172,9 @@ let print_claim52 ~quick () =
        body);
   print_newline ()
 
-let print_ablations ~quick () =
+let print_ablations ?(jobs = 1) ~quick () =
   print_endline "== Ablations: design choices called out in the paper ==";
-  let rows = Experiments.ablations ~quick () in
+  let rows = Experiments.ablations ~quick ~jobs () in
   let body =
     List.map
       (fun a ->
@@ -198,9 +198,9 @@ let print_ablations ~quick () =
   print_newline ()
 
 
-let print_scaling ~quick () =
+let print_scaling ?(jobs = 1) ~quick () =
   print_endline "== Strong scaling (ours): shortest paths, fixed n ==";
-  let rows = Experiments.scaling ~quick () in
+  let rows = Experiments.scaling ~quick ~jobs () in
   let body =
     List.map
       (fun r ->

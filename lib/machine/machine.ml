@@ -2,10 +2,20 @@ type message = { arrival : float; payload : Obj.t }
 
 type waiting = Exact of int * int | Any_source of int
 
+(* Per-source channel: a small tag-bucketed vector of FIFO queues.  At any
+   moment only a handful of tags are live between a pair of processors, so a
+   linear scan beats a hashtable — and avoids allocating a boxed (src, tag)
+   key per message, which dominated the send/recv hot path. *)
+type chan = {
+  mutable tags : int array;
+  mutable queues : message Queue.t array;
+  mutable nbuckets : int;
+}
+
 type proc = {
   id : int;
   mutable clock : float;
-  inbox : (int * int, message Queue.t) Hashtbl.t; (* keyed by (src, tag) *)
+  channels : chan array; (* indexed by source rank *)
   mutable waiting : waiting option;
   mutable coll_count : int; (* collective call sites reached so far *)
   stats : Stats.proc;
@@ -19,6 +29,16 @@ type t = {
   collectives : (int, Obj.t * int ref) Hashtbl.t;
   mutable next_tag : int;
   trace : Trace.t;
+  trace_on : bool; (* cached Trace.enabled: skips the call (and the float
+                      boxing of its arguments) on every clock advance *)
+  (* communication coefficients with the profile's comm_factor pre-applied,
+     hoisted out of the per-message path *)
+  c_send_overhead : float;
+  c_recv_overhead : float;
+  c_latency : float;
+  c_per_hop : float;
+  c_per_byte : float;
+  sync_comm : bool;
 }
 
 type ctx = { m : t; p : proc }
@@ -39,8 +59,9 @@ let clock ctx = ctx.p.clock
 
 let compute ctx seconds =
   assert (seconds >= 0.0);
-  Trace.record ctx.m.trace ~proc:ctx.p.id ~start:ctx.p.clock
-    ~duration:seconds Trace.Compute;
+  if ctx.m.trace_on then
+    Trace.record ctx.m.trace ~proc:ctx.p.id ~start:ctx.p.clock
+      ~duration:seconds Trace.Compute;
   ctx.p.clock <- ctx.p.clock +. seconds;
   ctx.p.stats.Stats.compute_time <- ctx.p.stats.Stats.compute_time +. seconds
 
@@ -49,8 +70,9 @@ let charge ctx cls ~ops ~base =
     compute ctx (float_of_int ops *. base *. Cost_model.factor (profile ctx) cls)
 
 let overhead ctx seconds =
-  Trace.record ctx.m.trace ~proc:ctx.p.id ~start:ctx.p.clock
-    ~duration:seconds Trace.Overhead;
+  if ctx.m.trace_on then
+    Trace.record ctx.m.trace ~proc:ctx.p.id ~start:ctx.p.clock
+      ~duration:seconds Trace.Overhead;
   ctx.p.clock <- ctx.p.clock +. seconds;
   ctx.p.stats.Stats.overhead_time <-
     ctx.p.stats.Stats.overhead_time +. seconds
@@ -62,42 +84,82 @@ let charge_skeleton_call ctx =
 let charge_copy ctx ~bytes =
   compute ctx (float_of_int bytes *. Calibration.copy_per_byte)
 
-let queue_of inbox key =
-  match Hashtbl.find_opt inbox key with
-  | Some q -> q
-  | None ->
-      let q = Queue.create () in
-      Hashtbl.add inbox key q;
-      q
+(* ------------------------------------------------------------------ *)
+(* Channel buckets                                                     *)
+
+let chan_create () = { tags = [||]; queues = [||]; nbuckets = 0 }
+
+(* Queue holding messages for [tag], or None.  An empty queue is
+   indistinguishable from an absent one to receivers. *)
+let chan_find c tag =
+  let rec go i =
+    if i >= c.nbuckets then None
+    else if c.tags.(i) = tag then Some c.queues.(i)
+    else go (i + 1)
+  in
+  go 0
+
+(* Queue to enqueue into for [tag]: reuse the bucket already carrying the
+   tag, else repurpose a drained bucket (tags only grow, so an empty queue's
+   old tag can never see traffic again from this source in FIFO order —
+   and even if it did, an empty bucket behaves exactly like a missing one),
+   else append a fresh bucket. *)
+let chan_enqueue_queue c tag =
+  let rec go i free =
+    if i >= c.nbuckets then
+      match free with
+      | Some j ->
+          c.tags.(j) <- tag;
+          c.queues.(j)
+      | None ->
+          if c.nbuckets = Array.length c.tags then begin
+            let cap = max 4 (2 * c.nbuckets) in
+            let tags = Array.make cap 0 in
+            Array.blit c.tags 0 tags 0 c.nbuckets;
+            let queues =
+              Array.init cap (fun k ->
+                  if k < c.nbuckets then c.queues.(k) else Queue.create ())
+            in
+            c.tags <- tags;
+            c.queues <- queues
+          end;
+          let j = c.nbuckets in
+          c.nbuckets <- j + 1;
+          c.tags.(j) <- tag;
+          c.queues.(j)
+    else if c.tags.(i) = tag then c.queues.(i)
+    else if free = None && Queue.is_empty c.queues.(i) then go (i + 1) (Some i)
+    else go (i + 1) free
+  in
+  go 0 None
+
+(* ------------------------------------------------------------------ *)
 
 let send ctx ?(rendezvous = false) ~dest ~tag ~bytes v =
   let m = ctx.m in
   if dest < 0 || dest >= Array.length m.procs then
     invalid_arg "Machine.send: destination out of range";
-  let params = m.cost.Cost_model.params in
-  let cf = (profile ctx).Cost_model.comm_factor in
-  overhead ctx (cf *. params.Cost_model.send_overhead);
+  overhead ctx m.c_send_overhead;
   let hops = Topology.hops m.topology ctx.p.id dest in
   let arrival =
-    ctx.p.clock
-    +. cf
-       *. (params.Cost_model.msg_latency
-           +. (float_of_int hops *. params.Cost_model.per_hop)
-           +. (float_of_int bytes *. params.Cost_model.per_byte))
+    ctx.p.clock +. m.c_latency
+    +. (float_of_int hops *. m.c_per_hop)
+    +. (float_of_int bytes *. m.c_per_byte)
   in
   let target = m.procs.(dest) in
   Queue.add { arrival; payload = Obj.repr v }
-    (queue_of target.inbox (ctx.p.id, tag));
+    (chan_enqueue_queue target.channels.(ctx.p.id) tag);
   let st = ctx.p.stats in
   st.Stats.msgs_sent <- st.Stats.msgs_sent + 1;
   st.Stats.bytes_sent <- st.Stats.bytes_sent + bytes;
   st.Stats.hop_bytes <- st.Stats.hop_bytes + (bytes * hops);
-  if rendezvous || (profile ctx).Cost_model.sync_comm then begin
+  if rendezvous || m.sync_comm then begin
     (* Rendezvous-style link: the sender is busy until delivery, so no
        communication/computation overlap is possible. *)
     let wait = Float.max 0.0 (arrival -. ctx.p.clock) in
-    Trace.record m.trace ~proc:ctx.p.id ~start:ctx.p.clock ~duration:wait
-      Trace.Wait;
+    if m.trace_on then
+      Trace.record m.trace ~proc:ctx.p.id ~start:ctx.p.clock ~duration:wait
+        Trace.Wait;
     ctx.p.clock <- arrival;
     st.Stats.comm_wait <- st.Stats.comm_wait +. wait
   end;
@@ -110,54 +172,57 @@ let send ctx ?(rendezvous = false) ~dest ~tag ~bytes v =
        Scheduler.wake m.sched dest
    | Some _ | None -> ())
 
+let finish_recv ctx msg =
+  let m = ctx.m in
+  let wait = Float.max 0.0 (msg.arrival -. ctx.p.clock) in
+  if m.trace_on then
+    Trace.record m.trace ~proc:ctx.p.id ~start:ctx.p.clock ~duration:wait
+      Trace.Wait;
+  ctx.p.clock <- Float.max ctx.p.clock msg.arrival;
+  ctx.p.stats.Stats.comm_wait <- ctx.p.stats.Stats.comm_wait +. wait;
+  overhead ctx m.c_recv_overhead
+
 let recv ctx ~src ~tag =
   let m = ctx.m in
   if src < 0 || src >= Array.length m.procs then
     invalid_arg "Machine.recv: source out of range";
-  let key = (src, tag) in
+  let c = ctx.p.channels.(src) in
   let rec obtain () =
-    match Hashtbl.find_opt ctx.p.inbox key with
+    match chan_find c tag with
     | Some q when not (Queue.is_empty q) -> Queue.take q
     | Some _ | None ->
-        let src0, tag0 = key in
-        ctx.p.waiting <- Some (Exact (src0, tag0));
+        ctx.p.waiting <- Some (Exact (src, tag));
         Scheduler.block m.sched;
         obtain ()
   in
   let msg = obtain () in
   ctx.p.waiting <- None;
-  let params = m.cost.Cost_model.params in
-  let wait = Float.max 0.0 (msg.arrival -. ctx.p.clock) in
-  Trace.record m.trace ~proc:ctx.p.id ~start:ctx.p.clock ~duration:wait
-    Trace.Wait;
-  ctx.p.clock <- Float.max ctx.p.clock msg.arrival;
-  ctx.p.stats.Stats.comm_wait <- ctx.p.stats.Stats.comm_wait +. wait;
-  overhead ctx
-    ((profile ctx).Cost_model.comm_factor *. params.Cost_model.recv_overhead);
+  finish_recv ctx msg;
   Obj.obj msg.payload
 
 let recv_any ctx ~tag =
   let m = ctx.m in
-  (* deterministic choice: earliest arrival, then lowest source rank *)
+  (* deterministic choice: earliest arrival, then lowest source rank (the
+     ascending scan with a strict comparison implements the tie-break) *)
   let best () =
-    Hashtbl.fold
-      (fun (src, t) q acc ->
-        if t <> tag || Queue.is_empty q then acc
-        else
+    let channels = ctx.p.channels in
+    let best_src = ref (-1) and best_q = ref None and best_arrival = ref 0.0 in
+    for src = 0 to Array.length channels - 1 do
+      match chan_find channels.(src) tag with
+      | Some q when not (Queue.is_empty q) ->
           let msg = Queue.peek q in
-          match acc with
-          | Some (bsrc, bmsg)
-            when bmsg.arrival < msg.arrival
-                 || (bmsg.arrival = msg.arrival && bsrc < src) ->
-              acc
-          | _ -> Some (src, msg))
-      ctx.p.inbox None
+          if !best_src < 0 || msg.arrival < !best_arrival then begin
+            best_src := src;
+            best_q := Some q;
+            best_arrival := msg.arrival
+          end
+      | Some _ | None -> ()
+    done;
+    match !best_q with Some q -> Some (!best_src, q) | None -> None
   in
   let rec obtain () =
     match best () with
-    | Some (src, _) ->
-        let q = Hashtbl.find ctx.p.inbox (src, tag) in
-        (src, Queue.take q)
+    | Some (src, q) -> (src, Queue.take q)
     | None ->
         ctx.p.waiting <- Some (Any_source tag);
         Scheduler.block m.sched;
@@ -165,14 +230,7 @@ let recv_any ctx ~tag =
   in
   let src, msg = obtain () in
   ctx.p.waiting <- None;
-  let params = m.cost.Cost_model.params in
-  let wait = Float.max 0.0 (msg.arrival -. ctx.p.clock) in
-  Trace.record m.trace ~proc:ctx.p.id ~start:ctx.p.clock ~duration:wait
-    Trace.Wait;
-  ctx.p.clock <- Float.max ctx.p.clock msg.arrival;
-  ctx.p.stats.Stats.comm_wait <- ctx.p.stats.Stats.comm_wait +. wait;
-  overhead ctx
-    ((profile ctx).Cost_model.comm_factor *. params.Cost_model.recv_overhead);
+  finish_recv ctx msg;
   (src, Obj.obj msg.payload)
 
 let sendrecv ctx ~dest ~src ~tag ~bytes v =
@@ -204,6 +262,8 @@ let tags ctx n =
 let run ?(cost = Cost_model.default) ?(trace = false) ~topology f =
   let n = Topology.nprocs topology in
   let sched = Scheduler.create () in
+  let params = cost.Cost_model.params in
+  let cf = cost.Cost_model.profile.Cost_model.comm_factor in
   let m =
     {
       topology;
@@ -213,7 +273,7 @@ let run ?(cost = Cost_model.default) ?(trace = false) ~topology f =
             {
               id;
               clock = 0.0;
-              inbox = Hashtbl.create 16;
+              channels = Array.init n (fun _ -> chan_create ());
               waiting = None;
               coll_count = 0;
               stats = Stats.fresh_proc ();
@@ -222,6 +282,13 @@ let run ?(cost = Cost_model.default) ?(trace = false) ~topology f =
       collectives = Hashtbl.create 16;
       next_tag = 0;
       trace = Trace.create ~enabled:trace;
+      trace_on = trace;
+      c_send_overhead = cf *. params.Cost_model.send_overhead;
+      c_recv_overhead = cf *. params.Cost_model.recv_overhead;
+      c_latency = cf *. params.Cost_model.msg_latency;
+      c_per_hop = cf *. params.Cost_model.per_hop;
+      c_per_byte = cf *. params.Cost_model.per_byte;
+      sync_comm = cost.Cost_model.profile.Cost_model.sync_comm;
     }
   in
   let stats =

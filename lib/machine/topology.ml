@@ -6,6 +6,7 @@ type t = {
   kind : virtual_kind;
   optimized : bool;
   position : (int * int) array; (* rank -> physical mesh position *)
+  dist : int array; (* rank pair -> hops, row-major n x n (read-only) *)
 }
 
 (* Fold a line of [n] logical positions into [n] physical slots such that
@@ -43,15 +44,34 @@ let positions ~width ~height ~kind ~optimized =
       let fold_x = folded_line width and fold_y = folded_line height in
       Array.init n (fun i -> (fold_x.(i mod width), fold_y.(i / width)))
 
+(* Pairwise Manhattan distances, precomputed eagerly so [hops] — called on
+   every simulated message — is one array read.  Built once at creation and
+   never mutated, so a topology value can be shared freely across domains. *)
+let distance_table position =
+  let n = Array.length position in
+  let dist = Array.make (n * n) 0 in
+  for a = 0 to n - 1 do
+    let xa, ya = position.(a) in
+    for b = 0 to n - 1 do
+      let xb, yb = position.(b) in
+      dist.((a * n) + b) <- abs (xa - xb) + abs (ya - yb)
+    done
+  done;
+  dist
+
 let create ?(embedding_optimized = true) ~width ~height kind =
   if width <= 0 || height <= 0 then
     invalid_arg "Topology.create: non-positive grid dimension";
+  let position =
+    positions ~width ~height ~kind ~optimized:embedding_optimized
+  in
   {
     width;
     height;
     kind;
     optimized = embedding_optimized;
-    position = positions ~width ~height ~kind ~optimized:embedding_optimized;
+    position;
+    dist = distance_table position;
   }
 
 let mesh ~width ~height = create ~width ~height Default
@@ -89,8 +109,9 @@ let mesh_position t rank =
   t.position.(rank)
 
 let hops t a b =
-  let xa, ya = mesh_position t a and xb, yb = mesh_position t b in
-  abs (xa - xb) + abs (ya - yb)
+  check_rank t a;
+  check_rank t b;
+  t.dist.((a * nprocs t) + b)
 
 let ring_next t rank =
   check_rank t rank;

@@ -12,11 +12,12 @@ let test_init_values () =
   done
 
 let test_init_index_copies () =
-  (* the init function must receive indices it can keep *)
+  (* the index passed to init is a scratch buffer (no allocation per
+     element): retaining it requires an explicit copy *)
   let kept = ref [] in
   let _ =
     mk [| 4 |] [| 2 |] (fun ix ->
-        kept := ix :: !kept;
+        kept := Array.copy ix :: !kept;
         0)
   in
   let sorted = List.sort compare (List.map (fun ix -> ix.(0)) !kept) in

@@ -1,0 +1,60 @@
+(* The experiment harness's determinism contract: dispatching cells through
+   the domain pool must not change any result — only wall-clock time.  Runner
+   outputs are compared structurally, which for float fields means
+   bit-identical makespans. *)
+
+let qt ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let test_table1_jobs_invariant () =
+  let seq = Experiments.table1 ~quick:true ~jobs:1 () in
+  let par = Experiments.table1 ~quick:true ~jobs:4 () in
+  Alcotest.(check bool) "table1 rows identical for jobs 1 vs 4" true (seq = par)
+
+let test_table2_jobs_invariant () =
+  let seq = Experiments.table2 ~quick:true ~jobs:1 () in
+  let par = Experiments.table2 ~quick:true ~jobs:4 () in
+  Alcotest.(check bool) "table2 rows identical for jobs 1 vs 4" true (seq = par)
+
+let test_exception_propagates () =
+  (* the exception of the lowest-index failing element is re-raised, whatever
+     domain ran it and however many elements fail *)
+  Alcotest.check_raises "lowest-index failure wins" (Failure "5") (fun () ->
+      ignore
+        (Pool.map ~jobs:4
+           (fun x -> if x >= 0 then raise (Failure (string_of_int x)) else x)
+           [ 5; -1; 3 ]))
+
+let test_empty_and_single () =
+  Alcotest.(check (list int)) "empty" [] (Pool.map ~jobs:4 (fun x -> x) []);
+  Alcotest.(check (list int)) "single" [ 7 ]
+    (Pool.map ~jobs:4 (fun x -> x + 1) [ 6 ])
+
+let gen_map_case =
+  let open QCheck2.Gen in
+  pair (int_range 1 8) (small_list int)
+
+let prop_map_order (jobs, xs) =
+  let f x = (x * 31) + 7 in
+  Pool.map ~jobs f xs = List.map f xs
+
+let prop_run_order (jobs, xs) =
+  let thunks = List.map (fun x -> fun () -> x * x) xs in
+  Pool.run ~jobs thunks = List.map (fun x -> x * x) xs
+
+let suite =
+  [
+    ( "pool",
+      [
+        Alcotest.test_case "table1 cell: jobs-invariant" `Quick
+          test_table1_jobs_invariant;
+        Alcotest.test_case "table2 cell: jobs-invariant" `Quick
+          test_table2_jobs_invariant;
+        Alcotest.test_case "exception propagation" `Quick
+          test_exception_propagates;
+        Alcotest.test_case "empty and singleton" `Quick test_empty_and_single;
+        qt "map preserves order" gen_map_case prop_map_order;
+        qt "run preserves order" gen_map_case prop_run_order;
+        Alcotest.test_case "shutdown" `Quick (fun () -> Pool.shutdown ());
+      ] );
+  ]
