@@ -4,6 +4,7 @@
    table/figure measuring the wall-clock cost of a representative cell.
 
    Usage: main.exe [--quick] [--csv DIR] [--jobs N] [--json FILE]
+                   [--trace-out FILE] [--profile]
                    [table1|table2|figure1|claim51|claim52|ablations|
                     scaling|bechamel|all]...
 
@@ -126,6 +127,9 @@ let () =
   let csv_dir, args = extract_opt "--csv" args in
   let jobs_arg, args = extract_opt "--jobs" args in
   let json_file, args = extract_opt "--json" args in
+  let trace_out, args = extract_opt "--trace-out" args in
+  let want_profile = List.mem "--profile" args in
+  let args = List.filter (fun a -> a <> "--profile") args in
   let jobs =
     match jobs_arg with
     | None -> Pool.default_jobs ()
@@ -172,4 +176,26 @@ let () =
   (* explicit-only: Bechamel spends a fixed time quota per cell, which would
      drown the tables' wall-clock in any speedup measurement of [all] *)
   if List.mem "bechamel" targets then run_bechamel ~json:json_file ();
+  (* tracing is opt-in and re-runs its own cell, so the timed table cells
+     above always execute with recording disabled *)
+  (if trace_out <> None || want_profile then begin
+     let n, (w, h), r = Experiments.traced_gauss_cell ~quick () in
+     let nprocs = w * h in
+     Printf.printf "== traced cell: gauss n=%d on %dx%d (%.4f s simulated) ==\n"
+       n w h r.Machine.time;
+     (match trace_out with
+      | Some file ->
+          let oc = open_out file in
+          output_string oc (Profile.chrome_json r.Machine.trace ~nprocs);
+          close_out oc;
+          Printf.printf
+            "chrome trace written to %s (open in chrome://tracing or \
+             ui.perfetto.dev)\n"
+            file
+      | None -> ());
+     if want_profile then
+       Format.printf "%a@." Profile.pp
+         (Profile.of_trace r.Machine.trace ~nprocs ~makespan:r.Machine.time);
+     print_newline ()
+   end);
   Pool.shutdown ()

@@ -1,24 +1,33 @@
 (* repro — regenerate the paper's tables and figures (without the Bechamel
    micro-benchmarks; see bench/main.exe for those).
 
-   Usage: repro.exe [--quick] [--jobs N]
+   Usage: repro.exe [--quick] [--jobs N] [--trace-out FILE] [--profile]
 
    Independent simulation cells are dispatched to N domains (default: all
-   cores); the output is bit-identical whatever N is. *)
+   cores); the output is bit-identical whatever N is.  [--trace-out FILE]
+   re-runs one representative Table-2 Gauss cell with structured tracing on
+   and writes a Chrome trace_event JSON; [--profile] prints its per-skeleton
+   / per-processor report instead (or as well). *)
 
 let () =
   let argv = Array.to_list Sys.argv in
   let quick = List.mem "--quick" argv in
-  let rec jobs_of = function
-    | [ "--jobs" ] -> failwith "--jobs expects a positive integer"
-    | "--jobs" :: v :: _ -> (
+  let rec opt_of name = function
+    | [ flag ] when flag = name -> failwith (name ^ " expects a value")
+    | flag :: v :: _ when flag = name -> Some v
+    | _ :: rest -> opt_of name rest
+    | [] -> None
+  in
+  let jobs =
+    match opt_of "--jobs" argv with
+    | None -> Pool.default_jobs ()
+    | Some v -> (
         match int_of_string_opt v with
         | Some n when n >= 1 -> n
         | Some _ | None -> failwith "--jobs expects a positive integer")
-    | _ :: rest -> jobs_of rest
-    | [] -> Pool.default_jobs ()
   in
-  let jobs = jobs_of argv in
+  let trace_out = opt_of "--trace-out" argv in
+  let want_profile = List.mem "--profile" argv in
   Printf.printf
     "Skil (HPDC '96) reproduction — simulated Parsytec MC%s [jobs %d]\n\n"
     (if quick then " [quick]" else "")
@@ -30,4 +39,24 @@ let () =
   Report.print_claim51 ~jobs ~quick ();
   Report.print_claim52 ~jobs ~quick ();
   Report.print_ablations ~jobs ~quick ();
+  (if trace_out <> None || want_profile then begin
+     let n, (w, h), r = Experiments.traced_gauss_cell ~quick () in
+     let nprocs = w * h in
+     Printf.printf "== traced cell: gauss n=%d on %dx%d (%.4f s simulated) ==\n"
+       n w h r.Machine.time;
+     (match trace_out with
+      | Some file ->
+          let oc = open_out file in
+          output_string oc (Profile.chrome_json r.Machine.trace ~nprocs);
+          close_out oc;
+          Printf.printf
+            "chrome trace written to %s (open in chrome://tracing or \
+             ui.perfetto.dev)\n"
+            file
+      | None -> ());
+     if want_profile then
+       Format.printf "%a@." Profile.pp
+         (Profile.of_trace r.Machine.trace ~nprocs ~makespan:r.Machine.time);
+     print_newline ()
+   end);
   Pool.shutdown ()

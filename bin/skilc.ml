@@ -156,15 +156,18 @@ let profile_conv =
     (parse, fun ppf p -> Format.fprintf ppf "%s" p.Cost_model.profile_name)
 
 let run_par_cmd =
-  let run file entry args width height torus profile no_instantiate =
+  let run file entry args width height torus profile no_instantiate trace_out
+      want_profile =
     handle_errors (fun () ->
         let program, _ = load file in
         let topology =
           if torus then Topology.torus2d ~width ~height ()
           else Topology.mesh ~width ~height
         in
+        let nprocs = Topology.nprocs topology in
+        let trace = trace_out <> None || want_profile in
         let r =
-          Spmd.run ~instantiate:(not no_instantiate)
+          Spmd.run ~instantiate:(not no_instantiate) ~trace
             ~cost:(Cost_model.make profile) ~topology program ~entry
             ~args:(List.map (fun n -> Value.VInt n) args)
         in
@@ -174,9 +177,22 @@ let run_par_cmd =
               Printf.printf "[proc %d] %s\n" i o.Spmd.printed)
           r.Machine.values;
         Printf.printf "simulated time: %.4f s (%s, %d processors)\n"
-          r.Machine.time profile.Cost_model.profile_name
-          (Topology.nprocs topology);
-        Format.printf "%a@." Stats.pp_summary r.Machine.stats)
+          r.Machine.time profile.Cost_model.profile_name nprocs;
+        Format.printf "%a@." Stats.pp_summary r.Machine.stats;
+        (match trace_out with
+         | Some file ->
+             let oc = open_out file in
+             output_string oc (Profile.chrome_json r.Machine.trace ~nprocs);
+             close_out oc;
+             Printf.printf
+               "chrome trace written to %s (open in chrome://tracing or \
+                ui.perfetto.dev)\n"
+               file
+         | None -> ());
+        if want_profile then
+          Format.printf "%a@." Profile.pp
+            (Profile.of_trace r.Machine.trace ~nprocs
+               ~makespan:r.Machine.time))
   in
   let width =
     Arg.(value & opt int 2 & info [ "width" ] ~docv:"W"
@@ -191,20 +207,36 @@ let run_par_cmd =
            ~doc:"Use a torus virtual topology (default: mesh).")
   in
   let profile =
-    Arg.(value & opt profile_conv Cost_model.skil & info [ "profile" ]
-           ~docv:"P"
-           ~doc:"Cost profile: skil, parix-c, parix-c-old or dpfl.")
+    Arg.(value
+         & opt profile_conv Cost_model.skil
+         & info [ "cost-profile" ] ~docv:"P"
+             ~doc:"Cost profile: skil, parix-c, parix-c-old or dpfl.")
   in
   let no_instantiate =
     Arg.(value & flag & info [ "no-instantiate" ]
            ~doc:"Interpret the higher-order source directly instead of the \
                  instantiated first-order program.")
   in
+  let trace_out =
+    Arg.(value
+         & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Record a structured trace and write it to $(docv) as \
+                   Chrome trace_event JSON (load in chrome://tracing or \
+                   Perfetto).")
+  in
+  let want_profile =
+    Arg.(value & flag
+         & info [ "profile" ]
+             ~doc:"Record a structured trace and print per-skeleton and \
+                   per-processor metrics, the communication matrix and a \
+                   critical-path estimate.")
+  in
   Cmd.v
     (Cmd.info "run-par"
        ~doc:"Execute a Skil program on the simulated Parsytec machine.")
     Term.(const run $ file_arg $ entry_arg $ args_arg $ width $ height
-          $ torus $ profile $ no_instantiate)
+          $ torus $ profile $ no_instantiate $ trace_out $ want_profile)
 
 let () =
   let doc = "the Skil compiler (HPDC '96 reproduction)" in

@@ -1,6 +1,9 @@
 (* Where does the simulated time go?  Trace one communication-bound and one
-   compute-bound configuration of the Table 2 workload and draw their
-   processor timelines.
+   compute-bound configuration of the Table 2 workload and render the same
+   trace three ways: the ASCII processor timeline, the Profile report
+   (per-skeleton / per-processor metrics, communication matrix, critical
+   path), and a Chrome trace_event JSON file for chrome://tracing /
+   Perfetto.
 
    Run with: dune exec examples/trace_timeline.exe *)
 
@@ -9,12 +12,12 @@ let run_traced ~n ~w ~h =
   Machine.run ~trace:true ~topology:(Topology.mesh ~width:w ~height:h)
     (fun ctx -> Skeletons.destroy ctx (Gauss.run ctx ~n ~matrix))
 
-let show label r =
+let show label ~json_file r =
+  let nprocs = Array.length r.Machine.values in
   Printf.printf "%s\n" label;
+  (* view 1: ASCII timeline *)
   print_string
-    (Trace.timeline r.Machine.trace
-       ~nprocs:(Array.length r.Machine.values)
-       ~makespan:r.Machine.time);
+    (Trace.timeline r.Machine.trace ~nprocs ~makespan:r.Machine.time);
   Array.iteri
     (fun p _ ->
       Printf.printf "p%d busy %.0f%%  " p
@@ -22,10 +25,24 @@ let show label r =
         *. Trace.busy_fraction r.Machine.trace ~proc:p
              ~makespan:r.Machine.time))
     r.Machine.values;
-  Printf.printf "\n\n"
+  Printf.printf "\n\n";
+  (* view 2: aggregated profile report *)
+  Format.printf "%a@.@." Profile.pp
+    (Profile.of_trace r.Machine.trace ~nprocs ~makespan:r.Machine.time);
+  (* view 3: Chrome trace_event JSON *)
+  let oc = open_out json_file in
+  output_string oc (Profile.chrome_json r.Machine.trace ~nprocs);
+  close_out oc;
+  Printf.printf
+    "chrome trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n\n"
+    json_file
 
 let () =
   (* compute-bound: a large matrix on few processors *)
-  show "gauss n=96 on 2x1 (compute-bound):" (run_traced ~n:96 ~w:2 ~h:1);
+  show "gauss n=96 on 2x1 (compute-bound):"
+    ~json_file:"trace_gauss_2x1.json"
+    (run_traced ~n:96 ~w:2 ~h:1);
   (* communication-bound: a small matrix on many processors *)
-  show "gauss n=32 on 8x2 (communication-bound):" (run_traced ~n:32 ~w:8 ~h:2)
+  show "gauss n=32 on 8x2 (communication-bound):"
+    ~json_file:"trace_gauss_8x2.json"
+    (run_traced ~n:32 ~w:8 ~h:2)

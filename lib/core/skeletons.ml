@@ -5,6 +5,11 @@ let default_elem_cost = 10.0e-6
 let skeleton ctx = Machine.charge_skeleton_call ctx
 let rank ctx = Machine.self ctx
 
+(* Trace span around a skeleton body (zero simulated cost; no-op unless the
+   run was started with [~trace:true]).  Element-ops charged inside are
+   attributed to the span, and nested collectives appear as child spans. *)
+let with_span ctx name f = Machine.with_span ctx ~cat:Trace.Skeleton name f
+
 (* ------------------------------------------------------------------ *)
 (* Creation / destruction                                              *)
 
@@ -23,6 +28,7 @@ let pgrid_for ctx ~gsize ~(distr : Darray.distr) =
 let create ctx ?(elem_bytes = Calibration.elem_bytes)
     ?(scheme = Distribution.Block) ?(cost = default_elem_cost) ~gsize ~distr
     init =
+  with_span ctx "array_create" @@ fun () ->
   skeleton ctx;
   (match (scheme, distr) with
    | (Distribution.Cyclic | Distribution.Block_cyclic _), Darray.Torus2d ->
@@ -40,6 +46,7 @@ let create ctx ?(elem_bytes = Calibration.elem_bytes)
   a
 
 let destroy ctx a =
+  with_span ctx "array_destroy" @@ fun () ->
   (* Deallocation takes effect when the slowest processor reaches it: faster
      processors must not invalidate partitions their peers are still using.
      This processor's share of the countdown is consumed *before* the
@@ -68,6 +75,7 @@ let check_same_layout name a b =
     invalid_arg (name ^ ": arrays have different layouts")
 
 let map_general ctx ~cost f (src : 'a Darray.t) (dst : 'b Darray.t) =
+  with_span ctx "array_map" @@ fun () ->
   skeleton ctx;
   let me = rank ctx in
   let ps = Darray.part src ~rank:me and pd = Darray.part dst ~rank:me in
@@ -90,9 +98,10 @@ let map_into ctx ?(cost = default_elem_cost) f src dst =
 (* ------------------------------------------------------------------ *)
 (* fold                                                                *)
 
-let fold ctx ?(cost = default_elem_cost) ?acc_bytes ~conv f (a : 'a Darray.t)
-    =
+let fold ctx ?(cost = default_elem_cost) ?acc_bytes ?acc_bytes_of ~conv f
+    (a : 'a Darray.t) =
   Darray.check_alive a;
+  with_span ctx "array_fold" @@ fun () ->
   skeleton ctx;
   let me = rank ctx in
   let p = Darray.part a ~rank:me in
@@ -103,8 +112,16 @@ let fold ctx ?(cost = default_elem_cost) ?acc_bytes ~conv f (a : 'a Darray.t)
       incr pos;
       acc := Some (match !acc with None -> v | Some w -> f w v));
   Machine.charge ctx Cost_model.Mapped ~ops:!pos ~base:cost;
+  (* Wire size of the partial result sent up the reduction tree.  When
+     [conv] changes the accumulator type (Gauss's pivot search folds floats
+     into elemrec structs), the element size of [a] is wrong — pass
+     [acc_bytes], or [acc_bytes_of] when the size is only known at run time
+     (the interpreter's dynamically typed values). *)
   let bytes =
-    match acc_bytes with Some b -> b | None -> Darray.elem_bytes a
+    match (acc_bytes_of, !acc) with
+    | Some measure, Some v -> measure v
+    | Some _, None | None, _ -> (
+        match acc_bytes with Some b -> b | None -> Darray.elem_bytes a)
   in
   let tag = Machine.tags ctx 1 in
   let merge x y =
@@ -122,6 +139,7 @@ let fold ctx ?(cost = default_elem_cost) ?acc_bytes ~conv f (a : 'a Darray.t)
 
 let copy ctx (src : 'a Darray.t) (dst : 'a Darray.t) =
   check_same_layout "array_copy" src dst;
+  with_span ctx "array_copy" @@ fun () ->
   skeleton ctx;
   let me = rank ctx in
   let ps = Darray.part src ~rank:me and pd = Darray.part dst ~rank:me in
@@ -134,6 +152,7 @@ let copy ctx (src : 'a Darray.t) (dst : 'a Darray.t) =
 
 let broadcast_part ctx (a : 'a Darray.t) ix =
   Darray.check_alive a;
+  with_span ctx "array_broadcast_part" @@ fun () ->
   skeleton ctx;
   let me = rank ctx in
   let root = Darray.owner a ix in
@@ -185,6 +204,7 @@ let permute_rows ctx (src : 'a Darray.t) perm (dst : 'a Darray.t) =
     invalid_arg "array_permute_rows: 2-D arrays only";
   if src.Darray.id = dst.Darray.id then
     invalid_arg "array_permute_rows: source and target must be distinct";
+  with_span ctx "array_permute_rows" @@ fun () ->
   skeleton ctx;
   let n = (Darray.gsize src).(0) in
   let inv = permutation_inverse n perm in
@@ -255,6 +275,7 @@ let gen_mult ctx ?(cost = default_elem_cost) ~add ~mul (a : 'a Darray.t)
   let n = gs.(0) in
   if n mod q <> 0 then
     invalid_arg "array_gen_mult: grid side must divide the matrix size";
+  with_span ctx "array_gen_mult" @@ fun () ->
   skeleton ctx;
   let bs = n / q in
   let me = rank ctx in
@@ -333,6 +354,7 @@ let gen_mult ctx ?(cost = default_elem_cost) ~add ~mul (a : 'a Darray.t)
 
 let to_flat ctx (a : 'a Darray.t) =
   Darray.check_alive a;
+  with_span ctx "array_to_flat" @@ fun () ->
   skeleton ctx;
   let me = rank ctx in
   let p = Darray.part a ~rank:me in
@@ -345,4 +367,13 @@ let to_flat ctx (a : 'a Darray.t) =
     else [||] (* placeholder; replaced by the broadcast below *)
   in
   let total_bytes = Index.volume (Darray.gsize a) * Darray.elem_bytes a in
-  Collectives.bcast ctx ~tag ~root:0 ~bytes:total_bytes flat
+  let received = Collectives.bcast ctx ~tag ~root:0 ~bytes:total_bytes flat in
+  (* Every processor returns a private snapshot.  The broadcast travels by
+     reference in the simulator, so returning [received] itself would hand
+     the *same* OCaml array to every processor — a caller mutating its
+     "local" copy would silently mutate all the others (and a root mutating
+     its result could still be read by slow receivers).  Landing the
+     gathered data in caller-owned memory is the same copy [broadcast_part]
+     charges, paid symmetrically on every rank. *)
+  Machine.charge_copy ctx ~bytes:total_bytes;
+  Array.copy received

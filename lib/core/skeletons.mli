@@ -67,6 +67,7 @@ val fold :
   ctx ->
   ?cost:float ->
   ?acc_bytes:int ->
+  ?acc_bytes_of:('b -> int) ->
   conv:('a -> Index.t -> 'b) ->
   ('b -> 'b -> 'b) ->
   'a Darray.t ->
@@ -75,8 +76,17 @@ val fold :
     locally, combine partition results along a virtual tree topology and
     broadcast the outcome back, so every processor returns the result.
     [fold_f] should be associative and commutative; the order of combination
-    is unspecified otherwise.  [acc_bytes] is the wire size of one ['b]
-    (default: the array's element size).
+    is unspecified otherwise.
+
+    [acc_bytes] is the wire size of one ['b], charged for every reduction
+    message.  The default is the array's element size ([Darray.elem_bytes]),
+    which is only right when [conv_f] preserves the element's wire size —
+    when it does not (e.g. folding a float array into a (value, row, col)
+    pivot record), pass [acc_bytes] explicitly or the collective is
+    mis-charged.  [acc_bytes_of] measures the processor's local partial
+    result instead, for callers that only know the accumulator's size at
+    run time (the Skil interpreter's dynamically typed values); it takes
+    precedence over [acc_bytes] whenever the local partition is non-empty.
     @raise Invalid_argument on empty arrays. *)
 
 val copy : ctx -> 'a Darray.t -> 'a Darray.t -> unit
@@ -119,5 +129,6 @@ val gen_mult :
 (** {1 Convenience} *)
 
 val to_flat : ctx -> 'a Darray.t -> 'a array
-(** Gather the whole array on every processor (all-gather; charged).  Mostly
-    for result output in examples. *)
+(** Gather the whole array on every processor (all-gather; charged).  Every
+    processor gets its own private copy — mutating one rank's result never
+    affects another's.  Mostly for result output in examples. *)

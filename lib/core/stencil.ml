@@ -13,6 +13,7 @@ let map_halo ctx ?(cost = Skeletons.default_elem_cost) ~radius ~f
     invalid_arg "Stencil.map_halo: source and target must be distinct";
   if not (Distribution.same_layout src.Darray.dist dst.Darray.dist) then
     invalid_arg "Stencil.map_halo: arrays have different layouts";
+  Machine.with_span ctx ~cat:Trace.Skeleton "map_halo" @@ fun () ->
   Machine.charge_skeleton_call ctx;
   let me = Machine.self ctx in
   let p = Machine.nprocs ctx in

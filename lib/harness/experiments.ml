@@ -142,6 +142,20 @@ let gauss_run ctx ~n =
   let b = Gauss.run ctx ~n ~matrix in
   Skeletons.destroy ctx b
 
+(* One representative Table-2 cell re-run with structured tracing on: the
+   unit behind --trace-out/--profile in bench/main.exe and repro.exe.
+   Tracing never alters simulated clocks, so the returned makespan equals
+   the table's corresponding (untraced) cell. *)
+let traced_gauss_cell ?(quick = false) () =
+  let n = if quick then 32 else 64 in
+  let w, h = (2, 2) in
+  ( n,
+    (w, h),
+    Machine.run ~trace:true
+      ~cost:(Cost_model.make Cost_model.skil)
+      ~topology:(Topology.mesh ~width:w ~height:h)
+      (fun ctx -> gauss_run ctx ~n) )
+
 (* The paper's measurement grid: the 2x2 network stops at n = 384 ("larger
    problem sizes could only be fitted into larger networks" — two n x (n+1)
    float arrays per 4 processors exceed 1 MB/node beyond that), and no DPFL

@@ -35,6 +35,14 @@ type gauss_row = { grid : int * int; cells : gauss_cell list }
 
 val table2 : ?quick:bool -> ?jobs:int -> unit -> gauss_row list
 
+val traced_gauss_cell :
+  ?quick:bool -> unit -> int * (int * int) * unit Machine.result
+(** [(n, grid, result)] of one representative Table-2 Gauss cell re-run with
+    structured tracing enabled — the cell behind the [--trace-out] /
+    [--profile] flags of [bench/main.exe] and [repro.exe].  Tracing never
+    changes simulated clocks, so [result.time] matches the untraced table
+    cell exactly. *)
+
 val paper_table2 : ((int * int) * (int * float * float option * float) list) list
 (** [(grid, [(n, skil, dpfl_over_skil, skil_over_c)])] as published. *)
 

@@ -230,7 +230,10 @@ and builtin st name args =
   | "array_fold", [ conv; f; VDarray a ] ->
       let c v ix = Value.copy (apply st conv [ v; VIndex (Array.copy ix) ]) in
       let g x y = apply st f [ x; y ] in
-      Skeletons.fold (ctx_of st) ~conv:c g a
+      (* conv_f may change the accumulator type (gauss.skil folds floats
+         into elemrec structs), so measure the wire size of the partial
+         result instead of trusting the array's element size *)
+      Skeletons.fold (ctx_of st) ~acc_bytes_of:Value.wire_bytes ~conv:c g a
   | "array_copy", [ VDarray src; VDarray dst ] ->
       Skeletons.copy (ctx_of st) src dst;
       VUnit

@@ -1,6 +1,6 @@
 type outcome = { value : Value.t; printed : string }
 
-let run ?cost ?(instantiate = true) ~topology program ~entry ~args =
+let run ?cost ?trace ?(instantiate = true) ~topology program ~entry ~args =
   let tyenv = Typecheck.check program in
   let program, tyenv =
     if instantiate then begin
@@ -9,10 +9,10 @@ let run ?cost ?(instantiate = true) ~topology program ~entry ~args =
     end
     else (program, tyenv)
   in
-  Machine.run ?cost ~topology (fun ctx ->
+  Machine.run ?cost ?trace ~topology (fun ctx ->
       let st = Interp.make ~backend:(`Par ctx) ~tyenv program in
       let value = Interp.call st entry args in
       { value; printed = Interp.output st })
 
-let run_source ?cost ?instantiate ~topology source ~entry ~args =
-  run ?cost ?instantiate ~topology (Parser.parse source) ~entry ~args
+let run_source ?cost ?trace ?instantiate ~topology source ~entry ~args =
+  run ?cost ?trace ?instantiate ~topology (Parser.parse source) ~entry ~args

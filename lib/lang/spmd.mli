@@ -9,6 +9,7 @@ type outcome = { value : Value.t; printed : string }
 
 val run :
   ?cost:Cost_model.t ->
+  ?trace:bool ->
   ?instantiate:bool ->
   topology:Topology.t ->
   Ast.program ->
@@ -19,10 +20,12 @@ val run :
     first via {!run_source} or explicitly).  When [instantiate] is true
     (default), the program is first translated by instantiation, exactly as
     the Skil compiler would, and the first-order result is executed.
+    [trace] records structured events for {!Profile} (default false).
     [printed] collects the calling processor's print_* output. *)
 
 val run_source :
   ?cost:Cost_model.t ->
+  ?trace:bool ->
   ?instantiate:bool ->
   topology:Topology.t ->
   string ->

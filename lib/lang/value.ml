@@ -40,6 +40,22 @@ let rec copy = function
     | VPtr _ | VFun _ | VDarray _ ) as v ->
       v
 
+(* Wire size of a value in the paper's 1996 C representation: 4-byte ints
+   and floats, 1-byte chars, structs as the sum of their fields (matching
+   Gauss's elemrec = 12 bytes).  Used to charge collectives whose payload
+   type is only known at run time (array_fold's accumulator). *)
+let rec wire_bytes = function
+  | VUnit | VNull -> 0
+  | VInt _ | VFloat _ -> 4
+  | VChar _ -> 1
+  | VStr s -> String.length s
+  | VIndex a -> 4 * Array.length a
+  | VBounds b -> 8 * Array.length b.Index.lower
+  | VPtr r -> wire_bytes !r
+  | VStruct s ->
+      List.fold_left (fun acc (_, r) -> acc + wire_bytes !r) 0 s.s_vals
+  | VFun _ | VDarray _ -> 4 (* handles; never meaningfully serialized *)
+
 let describe = function
   | VUnit -> "void"
   | VInt n -> string_of_int n

@@ -10,7 +10,12 @@ let vrank_of ctx root rank =
 
 let rank_of ctx root vrank = (vrank + root) mod Machine.nprocs ctx
 
+(* Trace span around a collective body: zero simulated cost, records which
+   collective this processor's sends/recvs/waits belong to. *)
+let spanned ctx name f = Machine.with_span ctx ~cat:Trace.Collective name f
+
 let reduce ctx ~tag ~root ~bytes f v =
+  spanned ctx "reduce" @@ fun () ->
   let p = Machine.nprocs ctx in
   let me = vrank_of ctx root (Machine.self ctx) in
   let acc = ref v in
@@ -35,6 +40,7 @@ let reduce ctx ~tag ~root ~bytes f v =
   !acc
 
 let bcast ctx ~tag ~root ~bytes v =
+  spanned ctx "bcast" @@ fun () ->
   let p = Machine.nprocs ctx in
   let me = vrank_of ctx root (Machine.self ctx) in
   let highest = ref 1 in
@@ -63,6 +69,7 @@ let barrier ctx ~tag =
   ignore (allreduce ctx ~tag ~bytes:0 (fun () () -> ()) ())
 
 let scan ctx ~tag ~bytes f v =
+  spanned ctx "scan" @@ fun () ->
   let p = Machine.nprocs ctx in
   let me = Machine.self ctx in
   let acc =
@@ -75,6 +82,7 @@ let scan ctx ~tag ~bytes f v =
   acc
 
 let gather_to ctx ~tag ~root ~bytes v =
+  spanned ctx "gather" @@ fun () ->
   let p = Machine.nprocs ctx in
   let me = Machine.self ctx in
   if me = root then begin
@@ -91,4 +99,6 @@ let gather_to ctx ~tag ~root ~bytes v =
 
 let ring_shift ctx ~tag ~bytes ~dest ~src v =
   if dest = Machine.self ctx && src = Machine.self ctx then v
-  else Machine.sendrecv ctx ~dest ~src ~tag ~bytes v
+  else
+    spanned ctx "ring_shift" @@ fun () ->
+    Machine.sendrecv ctx ~dest ~src ~tag ~bytes v

@@ -1,4 +1,8 @@
-type message = { arrival : float; payload : Obj.t }
+type message = {
+  arrival : float;
+  payload : Obj.t;
+  tmsg : Trace.message option; (* trace record, completed on delivery *)
+}
 
 type waiting = Exact of int * int | Any_source of int
 
@@ -18,6 +22,7 @@ type proc = {
   channels : chan array; (* indexed by source rank *)
   mutable waiting : waiting option;
   mutable coll_count : int; (* collective call sites reached so far *)
+  mutable span_stack : Trace.span list; (* open trace spans, innermost first *)
   stats : Stats.proc;
 }
 
@@ -66,8 +71,13 @@ let compute ctx seconds =
   ctx.p.stats.Stats.compute_time <- ctx.p.stats.Stats.compute_time +. seconds
 
 let charge ctx cls ~ops ~base =
-  if ops > 0 then
+  if ops > 0 then begin
+    if ctx.m.trace_on then
+      (match ctx.p.span_stack with
+       | s :: _ -> Trace.span_add_ops s cls ops
+       | [] -> ());
     compute ctx (float_of_int ops *. base *. Cost_model.factor (profile ctx) cls)
+  end
 
 let overhead ctx seconds =
   if ctx.m.trace_on then
@@ -83,6 +93,29 @@ let charge_skeleton_call ctx =
 
 let charge_copy ctx ~bytes =
   compute ctx (float_of_int bytes *. Calibration.copy_per_byte)
+
+(* Span brackets: zero simulated cost, recorded only when tracing. *)
+
+let span_begin ctx ~cat name =
+  if ctx.m.trace_on then
+    ctx.p.span_stack <-
+      Trace.span_begin ctx.m.trace ~proc:ctx.p.id ~cat ~name
+        ~start:ctx.p.clock
+      :: ctx.p.span_stack
+
+let span_end ctx =
+  if ctx.m.trace_on then
+    match ctx.p.span_stack with
+    | s :: rest ->
+        Trace.span_end s ~stop:ctx.p.clock;
+        ctx.p.span_stack <- rest
+    | [] -> ()
+
+let with_span ctx ~cat name f =
+  span_begin ctx ~cat name;
+  let r = f () in
+  span_end ctx;
+  r
 
 (* ------------------------------------------------------------------ *)
 (* Channel buckets                                                     *)
@@ -147,7 +180,13 @@ let send ctx ?(rendezvous = false) ~dest ~tag ~bytes v =
     +. (float_of_int bytes *. m.c_per_byte)
   in
   let target = m.procs.(dest) in
-  Queue.add { arrival; payload = Obj.repr v }
+  let tmsg =
+    if m.trace_on then
+      Trace.record_send m.trace ~src:ctx.p.id ~dst:dest ~tag ~bytes ~hops
+        ~sent:ctx.p.clock ~arrival
+    else None
+  in
+  Queue.add { arrival; payload = Obj.repr v; tmsg }
     (chan_enqueue_queue target.channels.(ctx.p.id) tag);
   let st = ctx.p.stats in
   st.Stats.msgs_sent <- st.Stats.msgs_sent + 1;
@@ -180,7 +219,10 @@ let finish_recv ctx msg =
       Trace.Wait;
   ctx.p.clock <- Float.max ctx.p.clock msg.arrival;
   ctx.p.stats.Stats.comm_wait <- ctx.p.stats.Stats.comm_wait +. wait;
-  overhead ctx m.c_recv_overhead
+  overhead ctx m.c_recv_overhead;
+  match msg.tmsg with
+  | Some tm -> Trace.mark_received tm ~time:ctx.p.clock
+  | None -> ()
 
 let recv ctx ~src ~tag =
   let m = ctx.m in
@@ -276,6 +318,7 @@ let run ?(cost = Cost_model.default) ?(trace = false) ~topology f =
               channels = Array.init n (fun _ -> chan_create ());
               waiting = None;
               coll_count = 0;
+              span_stack = [];
               stats = Stats.fresh_proc ();
             });
       sched;

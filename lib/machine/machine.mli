@@ -53,6 +53,20 @@ val charge_skeleton_call : ctx -> unit
 val charge_copy : ctx -> bytes:int -> unit
 (** Charge a contiguous local memory copy of [bytes] bytes. *)
 
+(** {1 Trace spans}
+
+    Bracket a region of the program as a {!Trace.span} (which skeleton or
+    collective the processor is executing).  Zero simulated cost; no-ops
+    unless the run was started with [~trace:true].  Spans nest (a collective
+    inside a skeleton); element-ops charged through {!charge} are attributed
+    to the innermost open span. *)
+
+val span_begin : ctx -> cat:Trace.cat -> string -> unit
+val span_end : ctx -> unit
+
+val with_span : ctx -> cat:Trace.cat -> string -> (unit -> 'a) -> 'a
+(** [with_span ctx ~cat name f] = [span_begin]; [f ()]; [span_end]. *)
+
 (** {1 Point-to-point communication}
 
     Payloads travel through an untyped internal representation, exactly like

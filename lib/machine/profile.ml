@@ -1,0 +1,304 @@
+type per_proc = {
+  compute : float;
+  wait : float;
+  overhead : float;
+  sent_msgs : int;
+  sent_bytes : int;
+  recv_msgs : int;
+  recv_bytes : int;
+}
+
+type per_span = {
+  name : string;
+  cat : Trace.cat;
+  calls : int;
+  time : float;
+  ops_kernel : int;
+  ops_mapped : int;
+  ops_scalar : int;
+}
+
+type t = {
+  nprocs : int;
+  makespan : float;
+  procs : per_proc array;
+  spans : per_span list;
+  comm_matrix : int array array;
+  critical_path : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Critical path                                                       *)
+
+(* Longest chain of work intervals linked by message transits, computed by a
+   single time-ordered sweep.  [cp.(p)] is the length of the longest chain
+   ending at processor [p]'s current position; a work interval extends it, a
+   received message pulls in the sender's chain as of the send plus the wire
+   transit.  Ordering within one timestamp matters: a message consumed at
+   [t] must be applied before the recv-overhead interval ending at [t]
+   (0: Recv), work ending at [t] before a message posted at [t] (2: Send) —
+   interval ends and message timestamps are the same clock values
+   bit-for-bit, so float equality is exact here. *)
+let critical_path ~nprocs trace =
+  let msgs = Array.of_list (Trace.messages trace) in
+  let cp_at_send = Array.make (Array.length msgs) 0.0 in
+  let events = ref [] in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.Trace.kind with
+      | Trace.Compute | Trace.Overhead ->
+          events :=
+            (e.Trace.start +. e.Trace.duration, 1, e.Trace.proc, e.Trace.duration)
+            :: !events
+      | Trace.Wait -> ())
+    (Trace.events trace);
+  Array.iteri
+    (fun i (m : Trace.message) ->
+      events := (m.Trace.sent, 2, i, 0.0) :: !events;
+      if m.Trace.received >= 0.0 then
+        events := (m.Trace.received, 0, i, 0.0) :: !events)
+    msgs;
+  let events = Array.of_list !events in
+  Array.sort compare events;
+  let cp = Array.make (max 1 nprocs) 0.0 in
+  Array.iter
+    (fun (_, order, i, dur) ->
+      match order with
+      | 1 -> if i >= 0 && i < nprocs then cp.(i) <- cp.(i) +. dur
+      | 2 ->
+          let m = msgs.(i) in
+          if m.Trace.src >= 0 && m.Trace.src < nprocs then
+            cp_at_send.(i) <- cp.(m.Trace.src)
+      | _ ->
+          let m = msgs.(i) in
+          if m.Trace.dst >= 0 && m.Trace.dst < nprocs then
+            cp.(m.Trace.dst) <-
+              Float.max
+                cp.(m.Trace.dst)
+                (cp_at_send.(i) +. (m.Trace.arrival -. m.Trace.sent)))
+    events;
+  Array.fold_left Float.max 0.0 cp
+
+(* ------------------------------------------------------------------ *)
+
+let of_trace trace ~nprocs ~makespan =
+  let zero =
+    {
+      compute = 0.0;
+      wait = 0.0;
+      overhead = 0.0;
+      sent_msgs = 0;
+      sent_bytes = 0;
+      recv_msgs = 0;
+      recv_bytes = 0;
+    }
+  in
+  let procs = Array.make (max 1 nprocs) zero in
+  let on p f = if p >= 0 && p < nprocs then procs.(p) <- f procs.(p) in
+  List.iter
+    (fun (e : Trace.event) ->
+      on e.Trace.proc (fun pp ->
+          match e.Trace.kind with
+          | Trace.Compute -> { pp with compute = pp.compute +. e.Trace.duration }
+          | Trace.Wait -> { pp with wait = pp.wait +. e.Trace.duration }
+          | Trace.Overhead ->
+              { pp with overhead = pp.overhead +. e.Trace.duration }))
+    (Trace.events trace);
+  let comm = Array.make_matrix (max 1 nprocs) (max 1 nprocs) 0 in
+  List.iter
+    (fun (m : Trace.message) ->
+      on m.Trace.src (fun pp ->
+          {
+            pp with
+            sent_msgs = pp.sent_msgs + 1;
+            sent_bytes = pp.sent_bytes + m.Trace.bytes;
+          });
+      if m.Trace.received >= 0.0 then
+        on m.Trace.dst (fun pp ->
+            {
+              pp with
+              recv_msgs = pp.recv_msgs + 1;
+              recv_bytes = pp.recv_bytes + m.Trace.bytes;
+            });
+      if m.Trace.src >= 0 && m.Trace.src < nprocs
+         && m.Trace.dst >= 0 && m.Trace.dst < nprocs
+      then comm.(m.Trace.src).(m.Trace.dst) <- comm.(m.Trace.src).(m.Trace.dst) + m.Trace.bytes)
+    (Trace.messages trace);
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Trace.span) ->
+      let stop = if s.Trace.sstop < 0.0 then s.Trace.sstart else s.Trace.sstop in
+      let key = (s.Trace.cat, s.Trace.name) in
+      let cur =
+        match Hashtbl.find_opt tbl key with
+        | Some c -> c
+        | None ->
+            {
+              name = s.Trace.name;
+              cat = s.Trace.cat;
+              calls = 0;
+              time = 0.0;
+              ops_kernel = 0;
+              ops_mapped = 0;
+              ops_scalar = 0;
+            }
+      in
+      Hashtbl.replace tbl key
+        {
+          cur with
+          calls = cur.calls + 1;
+          time = cur.time +. (stop -. s.Trace.sstart);
+          ops_kernel = cur.ops_kernel + s.Trace.ops_kernel;
+          ops_mapped = cur.ops_mapped + s.Trace.ops_mapped;
+          ops_scalar = cur.ops_scalar + s.Trace.ops_scalar;
+        })
+    (Trace.spans trace);
+  let spans =
+    Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+    |> List.sort (fun a b -> compare (b.time, a.name) (a.time, b.name))
+  in
+  {
+    nprocs;
+    makespan;
+    procs;
+    spans;
+    comm_matrix = comm;
+    critical_path = critical_path ~nprocs trace;
+  }
+
+let critical_path_fraction t =
+  if t.makespan <= 0.0 then 0.0 else t.critical_path /. t.makespan
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+
+let pp ppf t =
+  let open Format in
+  fprintf ppf "@[<v>";
+  fprintf ppf "profile: %d processors, makespan %.6f s@," t.nprocs t.makespan;
+  fprintf ppf
+    "critical path %.6f s (%.1f%% of makespan; the rest is wait/imbalance)@,"
+    t.critical_path
+    (100.0 *. critical_path_fraction t);
+  fprintf ppf "@,per-processor time and traffic:@,";
+  fprintf ppf "  %-5s %10s %10s %10s %6s %14s %14s@," "proc" "compute" "wait"
+    "overhead" "busy%" "sent msg/bytes" "recv msg/bytes";
+  Array.iteri
+    (fun i p ->
+      let busy =
+        if t.makespan > 0.0 then 100.0 *. p.compute /. t.makespan else 0.0
+      in
+      fprintf ppf "  p%-4d %10.6f %10.6f %10.6f %5.1f%% %6d/%-8d %6d/%-8d@," i
+        p.compute p.wait p.overhead busy p.sent_msgs p.sent_bytes p.recv_msgs
+        p.recv_bytes)
+    t.procs;
+  let cat_spans c = List.filter (fun s -> s.cat = c) t.spans in
+  let span_table title spans =
+    if spans <> [] then begin
+      fprintf ppf "@,%s:@," title;
+      fprintf ppf "  %-22s %6s %12s %6s %s@," "name" "calls" "time" "make%"
+        "ops (kernel/mapped/scalar)";
+      List.iter
+        (fun s ->
+          let pct =
+            if t.makespan > 0.0 then
+              100.0 *. s.time
+              /. (t.makespan *. float_of_int (max 1 t.nprocs))
+            else 0.0
+          in
+          fprintf ppf "  %-22s %6d %12.6f %5.1f%% %d/%d/%d@," s.name s.calls
+            s.time pct s.ops_kernel s.ops_mapped s.ops_scalar)
+        spans
+    end
+  in
+  span_table "per-skeleton (time summed over processors)"
+    (cat_spans Trace.Skeleton);
+  span_table "collectives (nested inside skeleton spans)"
+    (cat_spans Trace.Collective);
+  fprintf ppf "@,communication matrix (bytes, row = source):@,";
+  fprintf ppf "  %6s" "";
+  Array.iteri (fun j _ -> fprintf ppf " %8s" (sprintf "->p%d" j)) t.comm_matrix;
+  fprintf ppf "@,";
+  Array.iteri
+    (fun i row ->
+      fprintf ppf "  p%-5d" i;
+      Array.iter (fun b -> fprintf ppf " %8d" b) row;
+      fprintf ppf "@,")
+    t.comm_matrix;
+  fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event JSON                                             *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let us seconds = seconds *. 1e6
+
+let chrome_json trace ~nprocs =
+  let buf = Buffer.create 65536 in
+  let first = ref true in
+  let emit fmt =
+    Printf.ksprintf
+      (fun s ->
+        if !first then first := false else Buffer.add_string buf ",\n  ";
+        Buffer.add_string buf s)
+      fmt
+  in
+  Buffer.add_string buf "{\n\"traceEvents\": [\n  ";
+  for p = 0 to nprocs - 1 do
+    emit
+      {|{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"proc %d"}}|}
+      p p
+  done;
+  (* spans first so same-timestamp slices nest outside the intervals *)
+  List.iter
+    (fun (s : Trace.span) ->
+      let stop = if s.Trace.sstop < 0.0 then s.Trace.sstart else s.Trace.sstop in
+      let cat =
+        match s.Trace.cat with
+        | Trace.Skeleton -> "skeleton"
+        | Trace.Collective -> "collective"
+      in
+      emit
+        {|{"name":"%s","cat":"%s","ph":"X","ts":%.3f,"dur":%.3f,"pid":0,"tid":%d,"args":{"ops_kernel":%d,"ops_mapped":%d,"ops_scalar":%d}}|}
+        (json_escape s.Trace.name) cat (us s.Trace.sstart)
+        (us (stop -. s.Trace.sstart))
+        s.Trace.sproc s.Trace.ops_kernel s.Trace.ops_mapped s.Trace.ops_scalar)
+    (Trace.spans trace);
+  List.iter
+    (fun (e : Trace.event) ->
+      let name =
+        match e.Trace.kind with
+        | Trace.Compute -> "compute"
+        | Trace.Wait -> "wait"
+        | Trace.Overhead -> "overhead"
+      in
+      emit {|{"name":"%s","cat":"interval","ph":"X","ts":%.3f,"dur":%.3f,"pid":0,"tid":%d}|}
+        name (us e.Trace.start) (us e.Trace.duration) e.Trace.proc)
+    (Trace.events trace);
+  List.iteri
+    (fun i (m : Trace.message) ->
+      emit
+        {|{"name":"msg tag %d","cat":"message","ph":"s","id":%d,"ts":%.3f,"pid":0,"tid":%d,"args":{"bytes":%d,"hops":%d}}|}
+        m.Trace.tag i (us m.Trace.sent) m.Trace.src m.Trace.bytes m.Trace.hops;
+      if m.Trace.received >= 0.0 then
+        emit
+          {|{"name":"msg tag %d","cat":"message","ph":"f","bp":"e","id":%d,"ts":%.3f,"pid":0,"tid":%d,"args":{"queue_delay_us":%.3f}}|}
+          m.Trace.tag i (us m.Trace.received) m.Trace.dst
+          (us (Trace.queue_delay m)))
+    (Trace.messages trace);
+  Buffer.add_string buf
+    "\n],\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {\"source\": \"skil_obs simulated trace\"}\n}\n";
+  Buffer.contents buf

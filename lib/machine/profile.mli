@@ -1,0 +1,61 @@
+(** Aggregation of a structured {!Trace} into performance metrics, plus a
+    Chrome [trace_event] JSON exporter.
+
+    This is the analysis half of the [skil_obs] layer: {!Trace} records,
+    [Profile] explains.  {!of_trace} turns the raw event stream into
+
+    - per-processor time-by-kind totals and message counts/bytes,
+    - per-skeleton (and per-collective) call counts, time and charged ops,
+    - the p x p communication matrix (bytes sent from row to column),
+    - a critical-path estimate: the longest chain of compute/overhead
+      intervals linked by message transits, as a lower bound on the
+      makespan of any schedule of the same work.
+
+    {!chrome_json} emits the trace in the Chrome [trace_event] format; load
+    the file in [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}
+    (processors appear as threads, skeletons and collectives as nested
+    slices, messages as flow arrows). *)
+
+type per_proc = {
+  compute : float;
+  wait : float;
+  overhead : float;
+  sent_msgs : int;
+  sent_bytes : int;
+  recv_msgs : int;
+  recv_bytes : int;
+}
+
+type per_span = {
+  name : string;
+  cat : Trace.cat;
+  calls : int;
+  time : float;  (** summed over all processors *)
+  ops_kernel : int;
+  ops_mapped : int;
+  ops_scalar : int;
+}
+
+type t = {
+  nprocs : int;
+  makespan : float;
+  procs : per_proc array;
+  spans : per_span list;
+      (** by descending [time]; collective spans nest inside skeleton spans,
+          so their times overlap the skeletons' *)
+  comm_matrix : int array array;  (** [comm_matrix.(src).(dst)] bytes *)
+  critical_path : float;  (** seconds; [<= makespan] *)
+}
+
+val of_trace : Trace.t -> nprocs:int -> makespan:float -> t
+
+val critical_path_fraction : t -> float
+(** [critical_path /. makespan] (0 if no time passed). *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable report: per-processor table, per-skeleton table,
+    communication matrix, critical path. *)
+
+val chrome_json : Trace.t -> nprocs:int -> string
+(** The whole trace as Chrome [trace_event] JSON (timestamps in
+    microseconds of simulated time). *)

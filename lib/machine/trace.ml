@@ -1,15 +1,84 @@
 type kind = Compute | Wait | Overhead
 type event = { proc : int; start : float; duration : float; kind : kind }
-type t = { enabled : bool; mutable events : event list (* reversed *) }
 
-let create ~enabled = { enabled; events = [] }
+type message = {
+  src : int;
+  dst : int;
+  tag : int;
+  bytes : int;
+  hops : int;
+  sent : float;
+  arrival : float;
+  mutable received : float; (* negative while in flight *)
+}
+
+type cat = Skeleton | Collective
+
+type span = {
+  sproc : int;
+  cat : cat;
+  name : string;
+  sstart : float;
+  mutable sstop : float; (* negative while open *)
+  mutable ops_kernel : int;
+  mutable ops_mapped : int;
+  mutable ops_scalar : int;
+}
+
+type t = {
+  enabled : bool;
+  mutable events : event list; (* reversed *)
+  mutable msgs : message list; (* reversed *)
+  mutable span_list : span list; (* reversed, in begin order *)
+}
+
+let create ~enabled = { enabled; events = []; msgs = []; span_list = [] }
 let enabled t = t.enabled
 
 let record t ~proc ~start ~duration kind =
   if t.enabled && duration > 0.0 then
     t.events <- { proc; start; duration; kind } :: t.events
 
+let record_send t ~src ~dst ~tag ~bytes ~hops ~sent ~arrival =
+  if not t.enabled then None
+  else begin
+    let m = { src; dst; tag; bytes; hops; sent; arrival; received = -1.0 } in
+    t.msgs <- m :: t.msgs;
+    Some m
+  end
+
+let mark_received m ~time = m.received <- time
+
+let span_begin t ~proc ~cat ~name ~start =
+  let s =
+    {
+      sproc = proc;
+      cat;
+      name;
+      sstart = start;
+      sstop = -1.0;
+      ops_kernel = 0;
+      ops_mapped = 0;
+      ops_scalar = 0;
+    }
+  in
+  if t.enabled then t.span_list <- s :: t.span_list;
+  s
+
+let span_end s ~stop = s.sstop <- stop
+
+let span_add_ops s cls n =
+  match (cls : Cost_model.op_class) with
+  | Cost_model.Kernel -> s.ops_kernel <- s.ops_kernel + n
+  | Cost_model.Mapped -> s.ops_mapped <- s.ops_mapped + n
+  | Cost_model.Scalar -> s.ops_scalar <- s.ops_scalar + n
+
 let events t = List.rev t.events
+let messages t = List.rev t.msgs
+let spans t = List.rev t.span_list
+
+let queue_delay m =
+  if m.received < 0.0 then 0.0 else Float.max 0.0 (m.received -. m.arrival)
 
 let busy_fraction t ~proc ~makespan =
   if makespan <= 0.0 then 0.0

@@ -1,10 +1,26 @@
-(** Optional event tracing of simulated runs.
+(** Structured event tracing of simulated runs (the [skil_obs] layer).
 
-    When {!Machine.run} is called with [~trace:true], every clock-advancing
-    action is recorded as an interval on the owning processor's timeline:
-    computation, communication waits, software overheads.  The result is a
-    per-processor activity profile — the tool one reaches for to see {e why}
-    a configuration of Table 2 is communication-bound. *)
+    When {!Machine.run} is called with [~trace:true], three kinds of events
+    are recorded:
+
+    - {e activity intervals} — every clock-advancing action as an interval
+      on the owning processor's timeline: computation, communication waits,
+      software overheads;
+    - {e message events} — one record per point-to-point message with
+      source, destination, tag, payload bytes, hop count, send time, wire
+      arrival time and consumption time (so queueing delay is observable);
+    - {e spans} — bracketed regions marking which skeleton or collective a
+      processor was executing, with the element-ops charged inside, broken
+      down by {!Cost_model.op_class}.
+
+    Recording costs nothing in {e simulated} time: a traced run produces
+    bit-identical clocks, stats and results to an untraced one.  With
+    tracing disabled every recording entry point is a no-op behind a cached
+    flag, so the cost model's numbers are unchanged and the wall-clock
+    overhead is a dead branch.
+
+    {!Profile} aggregates these events into per-skeleton and per-processor
+    metrics and exports Chrome [trace_event] JSON. *)
 
 type kind =
   | Compute
@@ -13,13 +29,71 @@ type kind =
 
 type event = { proc : int; start : float; duration : float; kind : kind }
 
+type message = {
+  src : int;
+  dst : int;
+  tag : int;
+  bytes : int;
+  hops : int;
+  sent : float;  (** sender's clock when the message was posted *)
+  arrival : float;  (** when the last byte reaches the destination *)
+  mutable received : float;
+      (** receiver's clock when the message was consumed by a [recv];
+          negative while still in flight *)
+}
+
+type cat = Skeleton | Collective
+
+type span = {
+  sproc : int;
+  cat : cat;
+  name : string;  (** e.g. ["array_map"], ["bcast"] *)
+  sstart : float;
+  mutable sstop : float;  (** negative while the span is still open *)
+  mutable ops_kernel : int;
+  mutable ops_mapped : int;
+  mutable ops_scalar : int;
+      (** element-ops charged within the span, by {!Cost_model.op_class} *)
+}
+
 type t
 
 val create : enabled:bool -> t
 val enabled : t -> bool
+
+(** {1 Recording} — called by [Machine]; no-ops when disabled *)
+
 val record : t -> proc:int -> start:float -> duration:float -> kind -> unit
+
+val record_send :
+  t ->
+  src:int -> dst:int -> tag:int -> bytes:int -> hops:int ->
+  sent:float -> arrival:float ->
+  message option
+(** Returns the record (to be completed by {!mark_received} on delivery),
+    or [None] when disabled. *)
+
+val mark_received : message -> time:float -> unit
+
+val span_begin :
+  t -> proc:int -> cat:cat -> name:string -> start:float -> span
+val span_end : span -> stop:float -> unit
+val span_add_ops : span -> Cost_model.op_class -> int -> unit
+
+(** {1 Reading} *)
+
 val events : t -> event list
 (** In recording order. *)
+
+val messages : t -> message list
+(** In send order. *)
+
+val spans : t -> span list
+(** In begin order. *)
+
+val queue_delay : message -> float
+(** Seconds the message sat delivered-but-unconsumed at the receiver
+    (0 for in-flight messages). *)
 
 val busy_fraction : t -> proc:int -> makespan:float -> float
 (** Fraction of the makespan the processor spent computing. *)
@@ -27,4 +101,5 @@ val busy_fraction : t -> proc:int -> makespan:float -> float
 val timeline :
   ?width:int -> t -> nprocs:int -> makespan:float -> string
 (** ASCII utilization chart, one row per processor: ['#'] computing, ['.']
-    waiting, ['+'] overhead, [' '] idle. *)
+    waiting, ['+'] overhead, [' '] idle — one renderer over the interval
+    events. *)

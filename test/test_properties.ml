@@ -213,6 +213,41 @@ let prop_permute_rows (procs, n, perm) =
   done;
   !ok
 
+let gen_permutation_scheme =
+  (* the permute_rows receive loop assumes every sender's rows arrive in
+     ascending source-row order; this must hold for every distribution
+     scheme, not just Block *)
+  gen_permutation >>= fun (procs, n, perm) ->
+  oneof
+    [
+      return Distribution.Block;
+      return Distribution.Cyclic;
+      int_range 1 3 >|= fun k -> Distribution.Block_cyclic k;
+    ]
+  >|= fun scheme -> (procs, n, perm, scheme)
+
+let prop_permute_rows_any_scheme (procs, n, perm, scheme) =
+  let r =
+    run_line ~procs (fun ctx ->
+        let mk init =
+          Skeletons.create ctx ~scheme ~gsize:[| n; 3 |] ~distr:Darray.Default
+            init
+        in
+        let a = mk (fun ix -> (10 * ix.(0)) + ix.(1)) in
+        let b = mk (fun _ -> -1) in
+        Skeletons.permute_rows ctx a (fun r -> perm.(r)) b;
+        b)
+  in
+  let b = r.Machine.values.(0) in
+  let ok = ref true in
+  for row = 0 to n - 1 do
+    for col = 0 to 2 do
+      if Darray.peek b [| perm.(row); col |] <> (10 * row) + col then
+        ok := false
+    done
+  done;
+  !ok
+
 let gen_gen_mult =
   pair (int_range 1 3) (int_range 1 4) >>= fun (q, mult) ->
   int_range 0 1000 >|= fun seed -> (q, q * mult, seed)
@@ -532,6 +567,8 @@ let suite =
         qt ~count:60 "copy preserves fold" gen_array_setup
           prop_copy_then_fold_agrees;
         qt ~count:60 "permute rows" gen_permutation prop_permute_rows;
+        qt ~count:60 "permute rows under cyclic schemes"
+          gen_permutation_scheme prop_permute_rows_any_scheme;
         qt ~count:30 "gen_mult matches reference" gen_gen_mult
           prop_gen_mult_reference;
         qt ~count:10 "shortest paths triangle inequality"

@@ -451,6 +451,62 @@ let test_to_flat_collective () =
         flat)
     values
 
+let test_to_flat_private_copies () =
+  (* regression: to_flat used to hand every processor the same array (the
+     broadcast payload travels by reference in the simulator), so mutating
+     one processor's result corrupted all the others *)
+  let values =
+    run_on ~width:3 ~height:1 (fun ctx ->
+        let a =
+          Skeletons.create ctx ~gsize:[| 6 |] ~distr:Darray.Default (fun ix ->
+              ix.(0))
+        in
+        let flat = Skeletons.to_flat ctx a in
+        (* the root overwrites its copy after the collective returns *)
+        if Machine.self ctx = 0 then flat.(0) <- 999;
+        flat)
+  in
+  Alcotest.(check int) "rank 0 sees its write" 999 values.(0).(0);
+  Alcotest.(check int) "rank 1 unaffected" 0 values.(1).(0);
+  Alcotest.(check int) "rank 2 unaffected" 0 values.(2).(0);
+  Alcotest.(check bool) "distinct arrays" true (values.(1) != values.(2))
+
+let fold_bytes_sent ?acc_bytes ?acc_bytes_of () =
+  let r =
+    Machine.run ~topology:(Topology.mesh ~width:4 ~height:1) (fun ctx ->
+        let a =
+          Skeletons.create ctx ~gsize:[| 16 |] ~distr:Darray.Default (fun ix ->
+              ix.(0))
+        in
+        let m =
+          Skeletons.fold ctx ?acc_bytes ?acc_bytes_of
+            ~conv:(fun v ix -> (v, ix.(0)))
+            (fun a b -> if fst a >= fst b then a else b)
+            a
+        in
+        Skeletons.destroy ctx a;
+        m)
+  in
+  Array.iter
+    (fun v -> Alcotest.(check (pair int int)) "argmax" (15, 15) v)
+    r.Machine.values;
+  Stats.total_bytes r.Machine.stats
+
+let test_fold_acc_bytes_charged () =
+  (* conv changes the wire size: the documented default mis-charges at the
+     element size, an explicit [acc_bytes] (or a measuring [acc_bytes_of])
+     must account for the larger reduction messages *)
+  let default_bytes = fold_bytes_sent () in
+  let explicit = fold_bytes_sent ~acc_bytes:(2 * Calibration.elem_bytes) () in
+  let measured =
+    fold_bytes_sent ~acc_bytes_of:(fun _ -> 2 * Calibration.elem_bytes) ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "explicit acc_bytes sends more (%d > %d)" explicit
+       default_bytes)
+    true (explicit > default_bytes);
+  Alcotest.(check int) "acc_bytes_of agrees with acc_bytes" explicit measured
+
 let test_map_charges_mapped_rate () =
   (* identical program, DPFL vs C profile: times must differ by the mapped
      factor ratio on a communication-free map *)
@@ -508,6 +564,9 @@ let suite =
           test_get_elem_nonlocal_rejected;
         Alcotest.test_case "destroy" `Quick test_destroy_collective;
         Alcotest.test_case "to_flat" `Quick test_to_flat_collective;
+        Alcotest.test_case "to_flat private copies" `Quick
+          test_to_flat_private_copies;
+        Alcotest.test_case "fold acc_bytes" `Quick test_fold_acc_bytes_charged;
         Alcotest.test_case "mapped rate" `Quick test_map_charges_mapped_rate;
       ] );
   ]

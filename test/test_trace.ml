@@ -1,0 +1,324 @@
+(* The skil_obs layer: structured message events, skeleton/collective spans,
+   the Profile aggregation, and the zero-cost-when-disabled claim (tracing
+   never changes simulated clocks or stats). *)
+
+let qt ?(count = 40) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let mesh w h = Topology.mesh ~width:w ~height:h
+
+let gauss ?(trace = true) ~n ~w ~h () =
+  let matrix = Workload.gauss_matrix ~seed:3 ~n in
+  Machine.run ~trace ~topology:(mesh w h) (fun ctx ->
+      Skeletons.destroy ctx (Gauss.run ctx ~n ~matrix))
+
+(* ---------------- message events ---------------- *)
+
+let test_message_fields () =
+  let r =
+    Machine.run ~trace:true ~topology:(mesh 2 1) (fun ctx ->
+        if Machine.self ctx = 0 then begin
+          Machine.compute ctx 1.0;
+          Machine.send ctx ~dest:1 ~tag:7 ~bytes:64 ()
+        end
+        else Machine.recv ctx ~src:0 ~tag:7)
+  in
+  match Trace.messages r.Machine.trace with
+  | [ m ] ->
+      Alcotest.(check int) "src" 0 m.Trace.src;
+      Alcotest.(check int) "dst" 1 m.Trace.dst;
+      Alcotest.(check int) "tag" 7 m.Trace.tag;
+      Alcotest.(check int) "bytes" 64 m.Trace.bytes;
+      Alcotest.(check int) "hops" 1 m.Trace.hops;
+      Alcotest.(check bool) "sent after the compute" true (m.Trace.sent >= 1.0);
+      Alcotest.(check bool) "wire takes time" true
+        (m.Trace.arrival > m.Trace.sent);
+      Alcotest.(check bool) "consumed at or after arrival" true
+        (m.Trace.received >= m.Trace.arrival);
+      Alcotest.(check bool) "queue delay non-negative" true
+        (Trace.queue_delay m >= 0.0)
+  | ms -> Alcotest.failf "expected exactly 1 message, got %d" (List.length ms)
+
+let test_queue_delay_observable () =
+  (* the receiver computes past the arrival, so the message sits queued *)
+  let r =
+    Machine.run ~trace:true ~topology:(mesh 2 1) (fun ctx ->
+        if Machine.self ctx = 0 then Machine.send ctx ~dest:1 ~tag:1 ~bytes:4 ()
+        else begin
+          Machine.compute ctx 5.0;
+          Machine.recv ctx ~src:0 ~tag:1
+        end)
+  in
+  match Trace.messages r.Machine.trace with
+  | [ m ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf "sat queued (delay %.3f)" (Trace.queue_delay m))
+        true
+        (Trace.queue_delay m > 1.0)
+  | _ -> Alcotest.fail "expected exactly 1 message"
+
+(* ---------------- spans ---------------- *)
+
+let test_spans_recorded () =
+  let r =
+    Machine.run ~trace:true ~topology:(mesh 2 1) (fun ctx ->
+        let a =
+          Skeletons.create ctx ~gsize:[| 8 |] ~distr:Darray.Default (fun ix ->
+              ix.(0))
+        in
+        ignore (Skeletons.fold ctx ~conv:(fun v _ -> v) ( + ) a : int);
+        Skeletons.destroy ctx a)
+  in
+  let spans = Trace.spans r.Machine.trace in
+  let has cat name =
+    List.exists
+      (fun s -> s.Trace.cat = cat && s.Trace.name = name)
+      spans
+  in
+  Alcotest.(check bool) "array_create span" true (has Trace.Skeleton "array_create");
+  Alcotest.(check bool) "array_fold span" true (has Trace.Skeleton "array_fold");
+  Alcotest.(check bool) "array_destroy span" true
+    (has Trace.Skeleton "array_destroy");
+  Alcotest.(check bool) "reduce collective span" true
+    (has Trace.Collective "reduce");
+  Alcotest.(check bool) "bcast collective span" true
+    (has Trace.Collective "bcast");
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "span %s closed and ordered" s.Trace.name)
+        true
+        (s.Trace.sstop >= s.Trace.sstart))
+    spans;
+  (* the element-ops of create/fold land inside their spans *)
+  Alcotest.(check bool) "some span charged ops" true
+    (List.exists
+       (fun s -> s.Trace.ops_kernel + s.Trace.ops_mapped + s.Trace.ops_scalar > 0)
+       spans)
+
+let test_collective_nested_in_skeleton () =
+  let r = gauss ~n:12 ~w:2 ~h:1 () in
+  let spans = Trace.spans r.Machine.trace in
+  let ok =
+    List.for_all
+      (fun (c : Trace.span) ->
+        c.Trace.cat <> Trace.Collective
+        || List.exists
+             (fun (s : Trace.span) ->
+               s.Trace.cat = Trace.Skeleton
+               && s.Trace.sproc = c.Trace.sproc
+               && s.Trace.sstart <= c.Trace.sstart
+               && s.Trace.sstop >= c.Trace.sstop)
+             spans)
+      spans
+  in
+  Alcotest.(check bool) "every collective sits inside a skeleton span" true ok
+
+(* ---------------- zero cost when disabled ---------------- *)
+
+let test_tracing_does_not_change_clocks () =
+  let on = gauss ~trace:true ~n:16 ~w:2 ~h:2 () in
+  let off = gauss ~trace:false ~n:16 ~w:2 ~h:2 () in
+  Alcotest.(check (float 0.0)) "same makespan" off.Machine.time on.Machine.time;
+  Alcotest.(check int) "same msgs"
+    (Stats.total_msgs off.Machine.stats)
+    (Stats.total_msgs on.Machine.stats);
+  Alcotest.(check int) "same bytes"
+    (Stats.total_bytes off.Machine.stats)
+    (Stats.total_bytes on.Machine.stats);
+  for p = 0 to 3 do
+    Alcotest.(check (float 0.0))
+      (Printf.sprintf "p%d same compute" p)
+      (Stats.proc off.Machine.stats p).Stats.compute_time
+      (Stats.proc on.Machine.stats p).Stats.compute_time
+  done;
+  Alcotest.(check int) "untraced run records nothing" 0
+    (List.length (Trace.events off.Machine.trace)
+    + List.length (Trace.messages off.Machine.trace)
+    + List.length (Trace.spans off.Machine.trace))
+
+(* ---------------- Profile ---------------- *)
+
+let test_profile_matches_stats () =
+  let r = gauss ~n:16 ~w:2 ~h:2 () in
+  let nprocs = 4 in
+  let p =
+    Profile.of_trace r.Machine.trace ~nprocs ~makespan:r.Machine.time
+  in
+  for i = 0 to nprocs - 1 do
+    let st = Stats.proc r.Machine.stats i in
+    let pp = p.Profile.procs.(i) in
+    Alcotest.(check (float 1e-9))
+      (Printf.sprintf "p%d compute" i)
+      st.Stats.compute_time pp.Profile.compute;
+    Alcotest.(check (float 1e-9))
+      (Printf.sprintf "p%d wait" i)
+      st.Stats.comm_wait pp.Profile.wait;
+    Alcotest.(check (float 1e-9))
+      (Printf.sprintf "p%d overhead" i)
+      st.Stats.overhead_time pp.Profile.overhead;
+    Alcotest.(check int)
+      (Printf.sprintf "p%d msgs sent" i)
+      st.Stats.msgs_sent pp.Profile.sent_msgs;
+    Alcotest.(check int)
+      (Printf.sprintf "p%d bytes sent" i)
+      st.Stats.bytes_sent pp.Profile.sent_bytes
+  done;
+  (* the comm matrix accounts for every sent byte *)
+  let matrix_bytes =
+    Array.fold_left
+      (fun acc row -> Array.fold_left ( + ) acc row)
+      0 p.Profile.comm_matrix
+  in
+  Alcotest.(check int) "comm matrix total" (Stats.total_bytes r.Machine.stats)
+    matrix_bytes
+
+let test_critical_path_bounded () =
+  let r = gauss ~n:16 ~w:2 ~h:2 () in
+  let p = Profile.of_trace r.Machine.trace ~nprocs:4 ~makespan:r.Machine.time in
+  Alcotest.(check bool)
+    (Printf.sprintf "critical path %.6f in (0, makespan %.6f]"
+       p.Profile.critical_path r.Machine.time)
+    true
+    (p.Profile.critical_path > 0.0
+    && p.Profile.critical_path <= r.Machine.time +. 1e-9);
+  let f = Profile.critical_path_fraction p in
+  Alcotest.(check bool) "fraction in (0,1]" true (f > 0.0 && f <= 1.0 +. 1e-9)
+
+let string_contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec at i = i + nl <= hl && (String.sub haystack i nl = needle || at (i + 1)) in
+  nl = 0 || at 0
+
+let test_profile_report_renders () =
+  let r = gauss ~n:12 ~w:2 ~h:1 () in
+  let p = Profile.of_trace r.Machine.trace ~nprocs:2 ~makespan:r.Machine.time in
+  let s = Format.asprintf "%a" Profile.pp p in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " in report") true
+        (string_contains ~needle s))
+    [ "critical path"; "per-processor"; "communication matrix"; "array_map" ]
+
+let test_chrome_json_shape () =
+  let r = gauss ~n:12 ~w:2 ~h:1 () in
+  let s = Profile.chrome_json r.Machine.trace ~nprocs:2 in
+  let contains needle = string_contains ~needle s in
+  Alcotest.(check bool) "non-empty" true (String.length s > 1000);
+  Alcotest.(check bool) "traceEvents key" true (contains "\"traceEvents\"");
+  Alcotest.(check bool) "thread metadata" true (contains "thread_name");
+  Alcotest.(check bool) "complete events" true (contains "\"ph\":\"X\"");
+  Alcotest.(check bool) "flow start" true (contains "\"ph\":\"s\"");
+  Alcotest.(check bool) "flow end" true (contains "\"ph\":\"f\"");
+  (* object opened and closed, quotes balanced: a cheap well-formedness
+     check that catches unterminated strings and truncation *)
+  Alcotest.(check char) "opens object" '{' s.[0];
+  let unescaped_quotes = ref 0 in
+  String.iteri
+    (fun i c ->
+      if c = '"' && (i = 0 || s.[i - 1] <> '\\') then incr unescaped_quotes)
+    s;
+  Alcotest.(check int) "quotes balanced" 0 (!unescaped_quotes mod 2)
+
+(* ---------------- qcheck invariants ---------------- *)
+
+open QCheck2.Gen
+
+let gen_run =
+  triple (int_range 1 4) (int_range 4 20) (int_range 0 1000)
+
+let traced_run (procs, n, seed) =
+  let matrix = Workload.gauss_matrix ~seed ~n in
+  Machine.run ~trace:true ~topology:(mesh procs 1) (fun ctx ->
+      Skeletons.destroy ctx (Gauss.run ctx ~n ~matrix))
+
+let prop_events_within_makespan setup =
+  let r = traced_run setup in
+  List.for_all
+    (fun (e : Trace.event) ->
+      e.Trace.duration >= 0.0
+      && e.Trace.start >= 0.0
+      && e.Trace.start +. e.Trace.duration <= r.Machine.time +. 1e-9)
+    (Trace.events r.Machine.trace)
+  && List.for_all
+       (fun (m : Trace.message) ->
+         m.Trace.sent >= 0.0 && m.Trace.sent <= r.Machine.time +. 1e-9)
+       (Trace.messages r.Machine.trace)
+
+let prop_same_kind_intervals_disjoint ((procs, _, _) as setup) =
+  let r = traced_run setup in
+  let ok = ref true in
+  List.iter
+    (fun kind ->
+      for p = 0 to procs - 1 do
+        let mine =
+          List.filter
+            (fun (e : Trace.event) -> e.Trace.proc = p && e.Trace.kind = kind)
+            (Trace.events r.Machine.trace)
+          |> List.sort (fun a b -> compare a.Trace.start b.Trace.start)
+        in
+        let rec check = function
+          | a :: (b :: _ as rest) ->
+              if b.Trace.start < a.Trace.start +. a.Trace.duration -. 1e-12
+              then ok := false;
+              check rest
+          | _ -> ()
+        in
+        check mine
+      done)
+    [ Trace.Compute; Trace.Wait; Trace.Overhead ];
+  !ok
+
+let prop_stats_equal_trace_sums ((procs, _, _) as setup) =
+  let r = traced_run setup in
+  let close a b = Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 (Float.abs b) in
+  let ok = ref true in
+  for p = 0 to procs - 1 do
+    let sum kind =
+      List.fold_left
+        (fun acc (e : Trace.event) ->
+          if e.Trace.proc = p && e.Trace.kind = kind then
+            acc +. e.Trace.duration
+          else acc)
+        0.0 (Trace.events r.Machine.trace)
+    in
+    let st = Stats.proc r.Machine.stats p in
+    if not (close (sum Trace.Compute) st.Stats.compute_time) then ok := false;
+    if not (close (sum Trace.Wait) st.Stats.comm_wait) then ok := false;
+    if not (close (sum Trace.Overhead) st.Stats.overhead_time) then ok := false;
+    let sent =
+      List.filter (fun (m : Trace.message) -> m.Trace.src = p)
+        (Trace.messages r.Machine.trace)
+    in
+    if List.length sent <> st.Stats.msgs_sent then ok := false;
+    if List.fold_left (fun a (m : Trace.message) -> a + m.Trace.bytes) 0 sent
+       <> st.Stats.bytes_sent
+    then ok := false
+  done;
+  !ok
+
+let suite =
+  [
+    ( "trace",
+      [
+        Alcotest.test_case "message fields" `Quick test_message_fields;
+        Alcotest.test_case "queue delay" `Quick test_queue_delay_observable;
+        Alcotest.test_case "spans recorded" `Quick test_spans_recorded;
+        Alcotest.test_case "collectives nest" `Quick
+          test_collective_nested_in_skeleton;
+        Alcotest.test_case "zero cost when disabled" `Quick
+          test_tracing_does_not_change_clocks;
+        Alcotest.test_case "profile matches stats" `Quick
+          test_profile_matches_stats;
+        Alcotest.test_case "critical path bounded" `Quick
+          test_critical_path_bounded;
+        Alcotest.test_case "profile report" `Quick test_profile_report_renders;
+        Alcotest.test_case "chrome json" `Quick test_chrome_json_shape;
+        qt ~count:25 "events within makespan" gen_run
+          prop_events_within_makespan;
+        qt ~count:25 "same-kind intervals disjoint" gen_run
+          prop_same_kind_intervals_disjoint;
+        qt ~count:25 "stats equal trace sums" gen_run
+          prop_stats_equal_trace_sums;
+      ] );
+  ]
