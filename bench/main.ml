@@ -57,6 +57,39 @@ let bechamel_tests () =
     Experiments.time_of Cost_model.skil torus2 (fun ctx ->
         Skeletons.destroy ctx (Matmul.run ctx ~n ~a ~b))
   in
+  (* the .skil front end: full parse → typecheck → instantiate → simulate
+     pipeline under each execution engine (A/B of Spmd's ?engine) *)
+  let read path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let skil_source name =
+    match
+      List.find_opt Sys.file_exists
+        [
+          "../examples/skil/" ^ name;
+          "examples/skil/" ^ name;
+          "../../../examples/skil/" ^ name;
+        ]
+    with
+    | Some p -> read p
+    | None -> failwith ("cannot find examples/skil/" ^ name)
+  in
+  let gauss_src = skil_source "gauss.skil" in
+  let shpaths_src = skil_source "shpaths.skil" in
+  let mesh21 = Topology.mesh ~width:2 ~height:1 in
+  let gauss_skil engine () =
+    (Spmd.run_source ~engine ~topology:mesh21 gauss_src ~entry:"gauss"
+       ~args:[ Value.VInt 16 ])
+      .Machine.time
+  in
+  let shpaths_skil engine () =
+    (Spmd.run_source ~engine ~topology:torus2 shpaths_src ~entry:"shpaths"
+       ~args:[ Value.VInt 16 ])
+      .Machine.time
+  in
   [
     Test.make ~name:"table1_cell(shpaths-2x2-n32)"
       (Staged.stage (fun () -> ignore (sp_cell ())));
@@ -68,6 +101,14 @@ let bechamel_tests () =
       (Staged.stage (fun () -> ignore (matmul_cell ())));
     Test.make ~name:"claim52_cell(gauss-pivoting)"
       (Staged.stage (fun () -> ignore (gauss_cell Gauss.Partial ())));
+    Test.make ~name:"skil_frontend(gauss-n16-ast)"
+      (Staged.stage (fun () -> ignore (gauss_skil `Ast ())));
+    Test.make ~name:"skil_frontend(gauss-n16-compiled)"
+      (Staged.stage (fun () -> ignore (gauss_skil `Compiled ())));
+    Test.make ~name:"skil_frontend(shpaths-n16-ast)"
+      (Staged.stage (fun () -> ignore (shpaths_skil `Ast ())));
+    Test.make ~name:"skil_frontend(shpaths-n16-compiled)"
+      (Staged.stage (fun () -> ignore (shpaths_skil `Compiled ())));
   ]
 
 let run_bechamel ~json () =

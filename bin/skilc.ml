@@ -155,9 +155,21 @@ let profile_conv =
   Arg.conv
     (parse, fun ppf p -> Format.fprintf ppf "%s" p.Cost_model.profile_name)
 
+let engine_conv =
+  let parse = function
+    | "ast" -> Ok `Ast
+    | "compiled" -> Ok `Compiled
+    | s -> Error (`Msg ("unknown engine " ^ s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf e ->
+        Format.fprintf ppf "%s"
+          (match e with `Ast -> "ast" | `Compiled -> "compiled") )
+
 let run_par_cmd =
-  let run file entry args width height torus profile no_instantiate trace_out
-      want_profile =
+  let run file entry args width height torus profile no_instantiate engine
+      trace_out want_profile =
     handle_errors (fun () ->
         let program, _ = load file in
         let topology =
@@ -167,7 +179,7 @@ let run_par_cmd =
         let nprocs = Topology.nprocs topology in
         let trace = trace_out <> None || want_profile in
         let r =
-          Spmd.run ~instantiate:(not no_instantiate) ~trace
+          Spmd.run ~instantiate:(not no_instantiate) ~engine ~trace
             ~cost:(Cost_model.make profile) ~topology program ~entry
             ~args:(List.map (fun n -> Value.VInt n) args)
         in
@@ -217,6 +229,15 @@ let run_par_cmd =
            ~doc:"Interpret the higher-order source directly instead of the \
                  instantiated first-order program.")
   in
+  let engine =
+    Arg.(value
+         & opt engine_conv `Compiled
+         & info [ "engine" ] ~docv:"E"
+             ~doc:"Execution engine: $(b,compiled) (translate function \
+                   bodies to closures once, the default) or $(b,ast) (the \
+                   reference tree-walking interpreter).  Both produce \
+                   bit-identical output and simulated times.")
+  in
   let trace_out =
     Arg.(value
          & opt (some string) None
@@ -236,7 +257,8 @@ let run_par_cmd =
     (Cmd.info "run-par"
        ~doc:"Execute a Skil program on the simulated Parsytec machine.")
     Term.(const run $ file_arg $ entry_arg $ args_arg $ width $ height
-          $ torus $ profile $ no_instantiate $ trace_out $ want_profile)
+          $ torus $ profile $ no_instantiate $ engine $ trace_out
+          $ want_profile)
 
 let () =
   let doc = "the Skil compiler (HPDC '96 reproduction)" in

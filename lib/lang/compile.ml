@@ -1,0 +1,799 @@
+(* Compile-to-closures execution engine: "translation by instantiation",
+   in process.
+
+   Runs after typechecking (and normally after Instantiate.program, whose
+   output is first-order).  Each function body is translated ONCE into a
+   tree of OCaml closures:
+
+     - variables become integer slots into a [Value.t array] frame instead
+       of assoc-list lookups;
+     - struct fields resolve to positional indices recorded by the
+       typechecker (with a cheap name check and a search fallback);
+     - binary operators are specialized at compile time (no string
+       dispatch on the hot path);
+     - call targets and arities are resolved at compile time: saturated
+       calls invoke the target closure directly, and currying machinery is
+       only emitted for genuinely partial or dynamic applications.
+
+   Cost-accounting contract: the reference interpreter bumps
+   [st.pending_ops] once per expression node evaluated and flushes before
+   every statement and every array_* collective.  Compiled code must leave
+   the SAME counter value at every flush point, so simulated clocks, Stats
+   and traces are bit-identical between engines.  Node counts of call-free,
+   branch-free subtrees are pre-summed at compile time ([ops = Some n]) and
+   added with one increment; any subtree that may flush mid-evaluation
+   (calls) or evaluate children conditionally (&&, ||, ?:) stays dynamic
+   and bumps at its interpreter-defined position. *)
+
+open Value
+
+type frame = Value.t array
+
+type ecode = {
+  ops : int option;
+      (* [Some n]: call-free subtree of n nodes; [run] does NOT bump
+         pending_ops — the consumer adds n.  [None]: [run] bumps its own
+         nodes internally. *)
+  run : Interp.state -> frame -> Value.t;
+}
+
+type scode = Interp.state -> frame -> unit
+
+type cfn = {
+  c_arity : int;
+  mutable c_invoke : Interp.state -> Value.t list -> Value.t;
+      (* mutable so recursive / forward references patch through the
+         table; read at call time *)
+}
+
+type t = { cfuncs : (string, cfn) Hashtbl.t; tyenv : Typecheck.env }
+
+type fctx = {
+  prog : t;
+  scratch : Interp.state;
+      (* sequential state over the same program: compile-time evaluation
+         of default values and backend-independent constants *)
+  mutable nslots : int;
+}
+
+let known n run = { ops = Some n; run }
+let dyn run = { ops = None; run }
+
+let seal c =
+  match c.ops with
+  | None -> c.run
+  | Some n ->
+      fun st f ->
+        st.Interp.pending_ops <- st.Interp.pending_ops + n;
+        c.run st f
+
+let bump st n = st.Interp.pending_ops <- st.Interp.pending_ops + n
+
+(* One combinator for single-child nodes ([g] must be pure w.r.t. the
+   pending counter). *)
+let combine1 ce g =
+  match ce.ops with
+  | Some n -> known (1 + n) (fun st f -> g (ce.run st f))
+  | None ->
+      let r = seal ce in
+      dyn (fun st f ->
+          bump st 1;
+          g (r st f))
+
+(* ---------------- runtime application (currying fallback) -------------- *)
+
+let rec rt_apply prog st v args =
+  match v with
+  | VFun f -> rt_apply_fun prog st f args
+  | v when args = [] -> v
+  | v -> rte "cannot apply %s" (describe v)
+
+and rt_apply_fun prog st f args =
+  let supplied = f.fv_applied @ args in
+  let arity =
+    match f.fv_target with
+    | `Op _ -> 2
+    | `User name -> (
+        match Hashtbl.find_opt prog.cfuncs name with
+        | Some fn -> fn.c_arity
+        | None -> rte "undefined function %s" name)
+    | `Builtin name -> (
+        match Typecheck.builtin_arity name with
+        | Some n -> n
+        | None -> rte "unknown builtin %s" name)
+  in
+  let nsupplied = List.length supplied in
+  if nsupplied < arity then VFun { f with fv_applied = supplied }
+  else if nsupplied > arity then
+    let now, later = Interp.split_at arity supplied in
+    rt_apply prog st (rt_invoke prog st f.fv_target now) later
+  else rt_invoke prog st f.fv_target supplied
+
+and rt_invoke prog st target args =
+  match target with
+  | `Op op -> (
+      match args with
+      | [ a; b ] -> Interp.binop op a b
+      | _ -> rte "operator section applied to %d args" (List.length args))
+  | `User name -> (
+      match Hashtbl.find_opt prog.cfuncs name with
+      | None -> rte "undefined function %s" name
+      | Some fn -> fn.c_invoke st args)
+  | `Builtin name -> Interp.builtin st ~apply:(rt_apply prog st) name args
+
+(* ---------------- operator specialization ---------------- *)
+
+(* Fast paths for the concrete representations; every fallthrough lands in
+   the shared Interp implementation so error messages stay identical. *)
+let op_fn op : Value.t -> Value.t -> Value.t =
+  match op with
+  | "+" -> (
+      fun a b ->
+        match (a, b) with
+        | VInt x, VInt y -> VInt (x + y)
+        | VFloat x, VFloat y -> VFloat (x +. y)
+        | _ -> Interp.arith "+" a b)
+  | "-" -> (
+      fun a b ->
+        match (a, b) with
+        | VInt x, VInt y -> VInt (x - y)
+        | VFloat x, VFloat y -> VFloat (x -. y)
+        | _ -> Interp.arith "-" a b)
+  | "*" -> (
+      fun a b ->
+        match (a, b) with
+        | VInt x, VInt y -> VInt (x * y)
+        | VFloat x, VFloat y -> VFloat (x *. y)
+        | _ -> Interp.arith "*" a b)
+  | "/" -> (
+      fun a b ->
+        match (a, b) with
+        | VInt x, VInt y ->
+            if y = 0 then rte "division by zero" else VInt (x / y)
+        | VFloat x, VFloat y -> VFloat (x /. y)
+        | _ -> Interp.arith "/" a b)
+  | "%" -> (
+      fun a b ->
+        match (a, b) with
+        | VInt x, VInt y ->
+            if y = 0 then rte "modulo by zero" else VInt (x mod y)
+        | _ -> Interp.arith "%" a b)
+  | "==" -> (
+      fun a b ->
+        match (a, b) with
+        | VInt x, VInt y -> VInt (if x = y then 1 else 0)
+        | _ -> VInt (if Interp.equal_values a b then 1 else 0))
+  | "!=" -> (
+      fun a b ->
+        match (a, b) with
+        | VInt x, VInt y -> VInt (if x <> y then 1 else 0)
+        | _ -> VInt (if Interp.equal_values a b then 0 else 1))
+  | "<" -> (
+      fun a b ->
+        match (a, b) with
+        | VInt x, VInt y -> VInt (if x < y then 1 else 0)
+        | _ -> VInt (if Interp.compare_values a b < 0 then 1 else 0))
+  | ">" -> (
+      fun a b ->
+        match (a, b) with
+        | VInt x, VInt y -> VInt (if x > y then 1 else 0)
+        | _ -> VInt (if Interp.compare_values a b > 0 then 1 else 0))
+  | "<=" -> (
+      fun a b ->
+        match (a, b) with
+        | VInt x, VInt y -> VInt (if x <= y then 1 else 0)
+        | _ -> VInt (if Interp.compare_values a b <= 0 then 1 else 0))
+  | ">=" -> (
+      fun a b ->
+        match (a, b) with
+        | VInt x, VInt y -> VInt (if x >= y then 1 else 0)
+        | _ -> VInt (if Interp.compare_values a b >= 0 then 1 else 0))
+  | op -> fun a b -> Interp.binop op a b
+
+(* ---------------- struct field resolution ---------------- *)
+
+(* Position of [fname] in the struct type the typechecker recorded on this
+   Field/Arrow node (the "<struct>" annotation), if any. *)
+let field_slot fc (e : Ast.expr) fname =
+  match List.assoc_opt "<struct>" e.Ast.inst with
+  | Some (Ast.TNamed (n, _)) -> (
+      match Typecheck.struct_def fc.prog.tyenv n with
+      | Some sd ->
+          let rec pos i = function
+            | [] -> None
+            | (_, fn) :: _ when String.equal fn fname -> Some i
+            | _ :: rest -> pos (i + 1) rest
+          in
+          pos 0 sd.Ast.s_fields
+      | None -> None)
+  | _ -> None
+
+(* The name check guards against an annotation that went stale (e.g. an AST
+   shared across programs); the fallback searches like the interpreter. *)
+let field_ref idx fname s =
+  match idx with
+  | Some i
+    when i < Array.length s.s_names && String.equal s.s_names.(i) fname ->
+      s.s_vals.(i)
+  | _ -> Value.struct_field s fname
+
+let field_get idx fname v =
+  match v with
+  | VStruct s -> !(field_ref idx fname s)
+  | VBounds b -> Interp.bounds_field b fname
+  | v -> rte "field access on %s" (describe v)
+
+(* ---------------- expressions ---------------- *)
+
+let fresh_slot fc =
+  let s = fc.nslots in
+  fc.nslots <- s + 1;
+  s
+
+let rec compile_expr fc scope (e : Ast.expr) : ecode =
+  match e.Ast.desc with
+  | Ast.Int n ->
+      let v = VInt n in
+      known 1 (fun _ _ -> v)
+  | Ast.Float x ->
+      let v = VFloat x in
+      known 1 (fun _ _ -> v)
+  | Ast.Str s ->
+      let v = VStr s in
+      known 1 (fun _ _ -> v)
+  | Ast.Chr c ->
+      let v = VChar c in
+      known 1 (fun _ _ -> v)
+  | Ast.OpSection op ->
+      let v = VFun { fv_target = `Op op; fv_applied = [] } in
+      known 1 (fun _ _ -> v)
+  | Ast.Var x -> (
+      match List.assoc_opt x scope with
+      | Some slot -> known 1 (fun _ f -> f.(slot))
+      | None ->
+          if Interp.is_constant x then
+            match x with
+            | "procId" ->
+                known 1 (fun st _ ->
+                    match st.Interp.backend with
+                    | `Par ctx -> VInt (Machine.self ctx)
+                    | `Seq -> VInt 0)
+            | "nProcs" ->
+                known 1 (fun st _ ->
+                    match st.Interp.backend with
+                    | `Par ctx -> VInt (Machine.nprocs ctx)
+                    | `Seq -> VInt 1)
+            | _ ->
+                let v = Option.get (Interp.constant fc.scratch x) in
+                known 1 (fun _ _ -> v)
+          else if Hashtbl.mem fc.prog.cfuncs x then
+            let v = VFun { fv_target = `User x; fv_applied = [] } in
+            known 1 (fun _ _ -> v)
+          else if Typecheck.is_builtin x then
+            let v = VFun { fv_target = `Builtin x; fv_applied = [] } in
+            known 1 (fun _ _ -> v)
+          else known 1 (fun _ _ -> rte "unbound identifier %s" x))
+  | Ast.Call (h, args) -> compile_call fc scope h args
+  | Ast.Binop ((("&&" | "||") as op), a, b) ->
+      let ca = seal (compile_expr fc scope a) in
+      let cb = seal (compile_expr fc scope b) in
+      if op = "&&" then
+        dyn (fun st f ->
+            bump st 1;
+            if truthy (ca st f) then
+              VInt (if truthy (cb st f) then 1 else 0)
+            else VInt 0)
+      else
+        dyn (fun st f ->
+            bump st 1;
+            if truthy (ca st f) then VInt 1
+            else VInt (if truthy (cb st f) then 1 else 0))
+  | Ast.Binop (op, a, b) -> (
+      let fop = op_fn op in
+      let ca = compile_expr fc scope a in
+      let cb = compile_expr fc scope b in
+      match (ca.ops, cb.ops) with
+      | Some na, Some nb ->
+          known
+            (1 + na + nb)
+            (fun st f ->
+              let va = ca.run st f in
+              let vb = cb.run st f in
+              fop va vb)
+      | _ ->
+          let ra = seal ca and rb = seal cb in
+          dyn (fun st f ->
+              bump st 1;
+              let va = ra st f in
+              let vb = rb st f in
+              fop va vb))
+  | Ast.Unop ("!", a) ->
+      combine1 (compile_expr fc scope a) (fun v ->
+          VInt (if truthy v then 0 else 1))
+  | Ast.Unop ("-", a) ->
+      combine1 (compile_expr fc scope a) (fun v ->
+          match v with
+          | VInt n -> VInt (-n)
+          | VFloat x -> VFloat (-.x)
+          | v -> rte "cannot negate %s" (describe v))
+  | Ast.Unop (op, _) ->
+      known 1 (fun _ _ -> rte "unknown unary operator %s" op)
+  | Ast.Assign (l, r) ->
+      let cr = compile_expr fc scope r in
+      compile_assign fc scope l cr
+  | Ast.Idx (a, i) -> (
+      let ca = compile_expr fc scope a in
+      let ci = compile_expr fc scope i in
+      let get arr j =
+        if j >= 0 && j < Array.length arr then VInt arr.(j)
+        else rte "Index access out of range (%d)" j
+      in
+      match (ca.ops, ci.ops) with
+      | Some na, Some ni ->
+          known
+            (1 + na + ni)
+            (fun st f ->
+              let arr = as_index (ca.run st f) in
+              get arr (as_int (ci.run st f)))
+      | _ ->
+          let ra = seal ca and ri = seal ci in
+          dyn (fun st f ->
+              bump st 1;
+              let arr = as_index (ra st f) in
+              get arr (as_int (ri st f))))
+  | Ast.Field (s, fname) ->
+      let idx = field_slot fc e fname in
+      combine1 (compile_expr fc scope s) (field_get idx fname)
+  | Ast.Arrow (p, fname) ->
+      let idx = field_slot fc e fname in
+      combine1 (compile_expr fc scope p) (fun v ->
+          match v with
+          | VPtr r -> field_get idx fname !r
+          | VBounds b -> Interp.bounds_field b fname
+          | VNull -> rte "dereference of NULL"
+          | v -> rte "-> applied to %s" (describe v))
+  | Ast.Deref p ->
+      combine1 (compile_expr fc scope p) (fun v ->
+          match v with
+          | VPtr r -> !r
+          | VNull -> rte "dereference of NULL"
+          | v -> rte "dereference of %s" (describe v))
+  | Ast.ArrayLit es -> (
+      let cs = List.map (compile_expr fc scope) es in
+      let fill runs st f =
+        let n = Array.length runs in
+        let out = Array.make n 0 in
+        for i = 0 to n - 1 do
+          out.(i) <- as_int (runs.(i) st f)
+        done;
+        VIndex out
+      in
+      if List.for_all (fun c -> c.ops <> None) cs then
+        let total =
+          List.fold_left (fun s c -> s + Option.get c.ops) 1 cs
+        in
+        let raws = Array.of_list (List.map (fun c -> c.run) cs) in
+        known total (fill raws)
+      else
+        let sealed = Array.of_list (List.map seal cs) in
+        dyn (fun st f ->
+            bump st 1;
+            fill sealed st f))
+  | Ast.Cond (c, a, b) ->
+      let cc = seal (compile_expr fc scope c) in
+      let ca = seal (compile_expr fc scope a) in
+      let cb = seal (compile_expr fc scope b) in
+      dyn (fun st f ->
+          bump st 1;
+          if truthy (cc st f) then ca st f else cb st f)
+  | Ast.New e ->
+      combine1 (compile_expr fc scope e) (fun v ->
+          VPtr (ref (Value.copy v)))
+
+(* Calls.  Head bumps: the Call node plus, for a Var/OpSection head
+   resolved statically, that head node (= 2).  Argument order mirrors the
+   interpreter: head first, then arguments left to right. *)
+and compile_call fc scope h args =
+  let acs = List.map (compile_expr fc scope) args in
+  let nargs = List.length acs in
+  let all_known = List.for_all (fun c -> c.ops <> None) acs in
+  let args_ops =
+    if all_known then
+      List.fold_left (fun s c -> s + Option.get c.ops) 0 acs
+    else 0
+  in
+  let sealed = Array.of_list (List.map seal acs) in
+  let eval_sealed st f =
+    let n = Array.length sealed in
+    let rec go i =
+      if i = n then []
+      else
+        let v = sealed.(i) st f in
+        v :: go (i + 1)
+    in
+    go 0
+  in
+  let raws = Array.of_list (List.map (fun c -> c.run) acs) in
+  let eval_raw st f =
+    let n = Array.length raws in
+    let rec go i =
+      if i = n then []
+      else
+        let v = raws.(i) st f in
+        v :: go (i + 1)
+    in
+    go 0
+  in
+  (* a partial application allocates a closure value but cannot flush *)
+  let partial target =
+    if all_known then
+      known (2 + args_ops) (fun st f ->
+          VFun { fv_target = target; fv_applied = eval_raw st f })
+    else
+      dyn (fun st f ->
+          bump st 2;
+          VFun { fv_target = target; fv_applied = eval_sealed st f })
+  in
+  let over target arity =
+    dyn (fun st f ->
+        bump st 2;
+        let argv = eval_sealed st f in
+        let now, later = Interp.split_at arity argv in
+        rt_apply fc.prog st (rt_invoke fc.prog st target now) later)
+  in
+  let direct =
+    match h.Ast.desc with
+    | Ast.Var x
+      when (not (List.mem_assoc x scope)) && not (Interp.is_constant x)
+      -> (
+        match Hashtbl.find_opt fc.prog.cfuncs x with
+        | Some fn -> `User (x, fn)
+        | None ->
+            if Typecheck.is_builtin x then
+              `Builtin (x, Option.get (Typecheck.builtin_arity x))
+            else `Unbound x)
+    | Ast.OpSection op -> `Opsec op
+    | _ -> `General
+  in
+  match direct with
+  | `Unbound x ->
+      (* the interpreter bumps Call then the head Var, then raises before
+         touching the arguments *)
+      dyn (fun st _ ->
+          bump st 2;
+          rte "unbound identifier %s" x)
+  | `User (x, fn) ->
+      if nargs = fn.c_arity then
+        dyn (fun st f ->
+            bump st 2;
+            fn.c_invoke st (eval_sealed st f))
+      else if nargs < fn.c_arity then partial (`User x)
+      else over (`User x) fn.c_arity
+  | `Builtin (x, arity) ->
+      if nargs = arity then
+        dyn (fun st f ->
+            bump st 2;
+            Interp.builtin st ~apply:(rt_apply fc.prog st) x
+              (eval_sealed st f))
+      else if nargs < arity then partial (`Builtin x)
+      else over (`Builtin x) arity
+  | `Opsec op ->
+      if nargs = 2 then (
+        let fop = op_fn op in
+        match acs with
+        | [ ca; cb ] -> (
+            match (ca.ops, cb.ops) with
+            | Some na, Some nb ->
+                known
+                  (2 + na + nb)
+                  (fun st f ->
+                    let va = ca.run st f in
+                    let vb = cb.run st f in
+                    fop va vb)
+            | _ ->
+                let ra = seal ca and rb = seal cb in
+                dyn (fun st f ->
+                    bump st 2;
+                    let va = ra st f in
+                    let vb = rb st f in
+                    fop va vb))
+        | _ -> assert false)
+      else if nargs < 2 then partial (`Op op)
+      else over (`Op op) 2
+  | `General ->
+      let hc = seal (compile_expr fc scope h) in
+      dyn (fun st f ->
+          bump st 1;
+          let hv = hc st f in
+          let argv = eval_sealed st f in
+          rt_apply fc.prog st hv argv)
+
+(* Assignment mirrors Interp.assign: the right-hand side is evaluated and
+   copied first, then the lvalue components. *)
+and compile_assign fc scope (l : Ast.expr) cr =
+  match l.Ast.desc with
+  | Ast.Var x -> (
+      match List.assoc_opt x scope with
+      | Some slot -> (
+          match cr.ops with
+          | Some n ->
+              known
+                (1 + n)
+                (fun st f ->
+                  let v = Value.copy (cr.run st f) in
+                  f.(slot) <- v;
+                  v)
+          | None ->
+              let rr = seal cr in
+              dyn (fun st f ->
+                  bump st 1;
+                  let v = Value.copy (rr st f) in
+                  f.(slot) <- v;
+                  v))
+      | None ->
+          let rr = seal cr in
+          dyn (fun st f ->
+              bump st 1;
+              ignore (Value.copy (rr st f));
+              rte "cannot assign to %s" x))
+  | Ast.Idx (a, i) -> (
+      let ca = compile_expr fc scope a in
+      let ci = compile_expr fc scope i in
+      let set v arr j =
+        if j >= 0 && j < Array.length arr then (
+          arr.(j) <- as_int v;
+          v)
+        else rte "Index assignment out of range (%d)" j
+      in
+      match (cr.ops, ca.ops, ci.ops) with
+      | Some nr, Some na, Some ni ->
+          known
+            (1 + nr + na + ni)
+            (fun st f ->
+              let v = Value.copy (cr.run st f) in
+              let arr = as_index (ca.run st f) in
+              set v arr (as_int (ci.run st f)))
+      | _ ->
+          let rr = seal cr and ra = seal ca and ri = seal ci in
+          dyn (fun st f ->
+              bump st 1;
+              let v = Value.copy (rr st f) in
+              let arr = as_index (ra st f) in
+              set v arr (as_int (ri st f))))
+  | Ast.Field (s, fname) -> (
+      let idx = field_slot fc l fname in
+      let cs = compile_expr fc scope s in
+      let set v sv =
+        match sv with
+        | VStruct str ->
+            field_ref idx fname str := v;
+            v
+        | w -> rte "field assignment on %s" (describe w)
+      in
+      match (cr.ops, cs.ops) with
+      | Some nr, Some ns ->
+          known
+            (1 + nr + ns)
+            (fun st f ->
+              let v = Value.copy (cr.run st f) in
+              set v (cs.run st f))
+      | _ ->
+          let rr = seal cr and rs = seal cs in
+          dyn (fun st f ->
+              bump st 1;
+              let v = Value.copy (rr st f) in
+              set v (rs st f)))
+  | Ast.Arrow (p, fname) -> (
+      let idx = field_slot fc l fname in
+      let cp = compile_expr fc scope p in
+      let set v pv =
+        match pv with
+        | VPtr r -> (
+            match !r with
+            | VStruct str ->
+                field_ref idx fname str := v;
+                v
+            | w -> rte "-> assignment on %s" (describe w))
+        | VNull -> rte "assignment through NULL"
+        | w -> rte "-> assignment on %s" (describe w)
+      in
+      match (cr.ops, cp.ops) with
+      | Some nr, Some np ->
+          known
+            (1 + nr + np)
+            (fun st f ->
+              let v = Value.copy (cr.run st f) in
+              set v (cp.run st f))
+      | _ ->
+          let rr = seal cr and rp = seal cp in
+          dyn (fun st f ->
+              bump st 1;
+              let v = Value.copy (rr st f) in
+              set v (rp st f)))
+  | Ast.Deref p -> (
+      let cp = compile_expr fc scope p in
+      let set v pv =
+        match pv with
+        | VPtr r ->
+            r := v;
+            v
+        | VNull -> rte "assignment through NULL"
+        | w -> rte "assignment through %s" (describe w)
+      in
+      match (cr.ops, cp.ops) with
+      | Some nr, Some np ->
+          known
+            (1 + nr + np)
+            (fun st f ->
+              let v = Value.copy (cr.run st f) in
+              set v (cp.run st f))
+      | _ ->
+          let rr = seal cr and rp = seal cp in
+          dyn (fun st f ->
+              bump st 1;
+              let v = Value.copy (rr st f) in
+              set v (rp st f)))
+  | _ ->
+      let rr = seal cr in
+      dyn (fun st f ->
+          bump st 1;
+          ignore (rr st f);
+          rte "invalid assignment target")
+
+(* ---------------- statements ---------------- *)
+
+(* Every statement flushes pending scalar work first, exactly like
+   Interp.exec; compile_stmt returns the (possibly extended) scope. *)
+let rec compile_stmt fc scope s : (string * int) list * scode =
+  let scope', raw = compile_stmt_raw fc scope s in
+  ( scope',
+    fun st f ->
+      Interp.flush_scalar st;
+      raw st f )
+
+and compile_stmt_raw fc scope = function
+  | Ast.SExpr e ->
+      let c = seal (compile_expr fc scope e) in
+      (scope, fun st f -> ignore (c st f))
+  | Ast.SDecl (t, name, init) ->
+      let slot = fresh_slot fc in
+      let code =
+        match init with
+        | Some e ->
+            let c = seal (compile_expr fc scope e) in
+            fun st f -> f.(slot) <- Value.copy (c st f)
+        | None ->
+            (* the zero value of the type, evaluated once at compile time;
+               copy gives each execution fresh struct field cells *)
+            let template = Interp.default_value fc.scratch t in
+            fun _ f -> f.(slot) <- Value.copy template
+      in
+      ((name, slot) :: scope, code)
+  | Ast.SIf (c, a, b) ->
+      let cc = seal (compile_expr fc scope c) in
+      let ca = compile_block fc scope a in
+      let cb = compile_block fc scope b in
+      (scope, fun st f -> if truthy (cc st f) then ca st f else cb st f)
+  | Ast.SWhile (c, body) ->
+      let cc = seal (compile_expr fc scope c) in
+      let cb = compile_block fc scope body in
+      ( scope,
+        fun st f ->
+          try
+            while truthy (cc st f) do
+              try cb st f with Interp.Continue_exc -> ()
+            done
+          with Interp.Break_exc -> () )
+  | Ast.SFor (init, cond, step, body) ->
+      let scope', initc =
+        match init with
+        | Some s ->
+            let sc, c = compile_stmt fc scope s in
+            (sc, Some c)
+        | None -> (scope, None)
+      in
+      let cc = Option.map (fun c -> seal (compile_expr fc scope' c)) cond in
+      let stepc =
+        Option.map (fun e -> seal (compile_expr fc scope' e)) step
+      in
+      let bodyc = compile_block fc scope' body in
+      ( scope,
+        fun st f ->
+          (match initc with Some c -> c st f | None -> ());
+          let check () =
+            match cc with Some c -> truthy (c st f) | None -> true
+          in
+          try
+            while check () do
+              (try bodyc st f with Interp.Continue_exc -> ());
+              match stepc with Some c -> ignore (c st f) | None -> ()
+            done
+          with Interp.Break_exc -> () )
+  | Ast.SReturn None ->
+      (scope, fun _ _ -> raise (Interp.Return_exc VUnit))
+  | Ast.SReturn (Some e) ->
+      let c = seal (compile_expr fc scope e) in
+      ( scope,
+        fun st f -> raise (Interp.Return_exc (Value.copy (c st f))) )
+  | Ast.SBreak -> (scope, fun _ _ -> raise Interp.Break_exc)
+  | Ast.SContinue -> (scope, fun _ _ -> raise Interp.Continue_exc)
+  | Ast.SBlock b ->
+      let cb = compile_block fc scope b in
+      (scope, cb)
+
+and compile_block fc scope stmts : scode =
+  let _, rev =
+    List.fold_left
+      (fun (scope, acc) s ->
+        let scope', c = compile_stmt fc scope s in
+        (scope', c :: acc))
+      (scope, []) stmts
+  in
+  match rev with
+  | [] -> fun _ _ -> ()
+  | [ c ] -> c
+  | rev ->
+      let codes = Array.of_list (List.rev rev) in
+      let n = Array.length codes in
+      fun st f ->
+        for i = 0 to n - 1 do
+          codes.(i) st f
+        done
+
+(* ---------------- program ---------------- *)
+
+let compile_func t scratch (f : Ast.func) =
+  let cfn = Hashtbl.find t.cfuncs f.Ast.f_name in
+  let fc = { prog = t; scratch; nslots = 0 } in
+  let scope = List.mapi (fun i p -> (p.Ast.p_name, i)) f.Ast.f_params in
+  fc.nslots <- List.length f.Ast.f_params;
+  let body = compile_block fc scope (Option.get f.Ast.f_body) in
+  let size = fc.nslots in
+  cfn.c_invoke <-
+    (fun st args ->
+      let frame = Array.make size VUnit in
+      let rec fill i = function
+        | [] -> ()
+        | v :: rest ->
+            frame.(i) <- Value.copy v;
+            fill (i + 1) rest
+      in
+      fill 0 args;
+      try
+        body st frame;
+        VUnit
+      with Interp.Return_exc v -> v)
+
+let program ~tyenv (prog_ast : Ast.program) : t =
+  let t = { cfuncs = Hashtbl.create 32; tyenv } in
+  let scratch = Interp.make ~tyenv prog_ast in
+  let funcs =
+    List.filter_map
+      (function
+        | Ast.TFunc f when f.Ast.f_body <> None -> Some f
+        | _ -> None)
+      prog_ast
+  in
+  (* placeholders first so recursive and forward calls resolve *)
+  List.iter
+    (fun f ->
+      Hashtbl.replace t.cfuncs f.Ast.f_name
+        {
+          c_arity = List.length f.Ast.f_params;
+          c_invoke =
+            (fun _ _ -> rte "function %s not yet compiled" f.Ast.f_name);
+        })
+    funcs;
+  List.iter (compile_func t scratch) funcs;
+  t
+
+let apply prog st v args = rt_apply prog st v args
+
+let call prog st name args =
+  if Hashtbl.mem prog.cfuncs name then
+    rt_apply prog st (VFun { fv_target = `User name; fv_applied = [] }) args
+  else if Typecheck.is_builtin name then
+    rt_apply prog st
+      (VFun { fv_target = `Builtin name; fv_applied = [] })
+      args
+  else rte "undefined function %s" name

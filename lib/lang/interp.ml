@@ -45,20 +45,22 @@ let rec default_value st (t : Ast.typ) =
             try List.combine sd.Ast.s_params args with Invalid_argument _ ->
               []
           in
+          let fields = Array.of_list sd.Ast.s_fields in
           VStruct
             {
               s_tag = n;
+              s_names = Array.map snd fields;
               s_vals =
-                List.map
-                  (fun (ft, fname) ->
+                Array.map
+                  (fun (ft, _) ->
                     let ft =
                       List.fold_left
                         (fun t (v', a) ->
                           if t = Ast.TVar v' then a else t)
                         ft subst
                     in
-                    (fname, ref (default_value st ft)))
-                  sd.Ast.s_fields;
+                    ref (default_value st ft))
+                  fields;
             }
       | None -> VUnit)
   | Ast.TVar _ | Ast.TMeta _ | Ast.TFun _ -> VUnit
@@ -81,30 +83,44 @@ let arith op a b =
   | _ ->
       rte "invalid operands for %s: %s, %s" op (describe a) (describe b)
 
+(* Ordering: defined on scalars only.  Pointers have no stable order (the
+   old pointer case answered 1 for both x < y and y < x), so ordered
+   comparisons on them are a runtime error; only == and != apply. *)
 let compare_values a b =
   match (a, b) with
   | VInt x, VInt y -> compare x y
   | VFloat x, VFloat y -> compare x y
   | VChar x, VChar y -> compare x y
   | VStr x, VStr y -> compare x y
-  | VNull, VNull -> 0
-  | VNull, VPtr _ -> -1
-  | VPtr _, VNull -> 1
-  | VPtr x, VPtr y -> if x == y then 0 else 1
+  | (VNull | VPtr _), (VNull | VPtr _) ->
+      rte "pointers admit only == and != (no ordering)"
   | _ -> rte "cannot compare %s and %s" (describe a) (describe b)
+
+let equal_values a b =
+  match (a, b) with
+  | VNull, VNull -> true
+  | VNull, VPtr _ | VPtr _, VNull -> false
+  | VPtr x, VPtr y -> x == y
+  | _ -> compare_values a b = 0
 
 let binop op a b =
   match op with
   | "+" | "-" | "*" | "/" | "%" -> arith op a b
-  | "==" -> VInt (if compare_values a b = 0 then 1 else 0)
-  | "!=" -> VInt (if compare_values a b <> 0 then 1 else 0)
+  | "==" -> VInt (if equal_values a b then 1 else 0)
+  | "!=" -> VInt (if equal_values a b then 0 else 1)
   | "<" -> VInt (if compare_values a b < 0 then 1 else 0)
   | ">" -> VInt (if compare_values a b > 0 then 1 else 0)
   | "<=" -> VInt (if compare_values a b <= 0 then 1 else 0)
   | ">=" -> VInt (if compare_values a b >= 0 then 1 else 0)
   | _ -> rte "unknown operator %s" op
 
-(* ---------------- builtins ---------------- *)
+(* ---------------- shared engine glue ----------------
+
+   Everything from here to the expression evaluator is engine-independent:
+   the compiled engine (Compile) runs on the same [state], charges through
+   the same [flush_scalar], and dispatches builtins through the same
+   [builtin] — which is what keeps simulated clocks, Stats and traces
+   bit-identical between engines. *)
 
 let ctx_of st =
   match st.backend with
@@ -114,8 +130,7 @@ let ctx_of st =
 let flush_scalar st =
   match st.backend with
   | `Par ctx when st.pending_ops > 0 ->
-      Machine.charge ctx Cost_model.Scalar ~ops:st.pending_ops
-        ~base:Calibration.scalar_node_op;
+      Machine.charge_scalar_nodes ctx ~ops:st.pending_ops;
       st.pending_ops <- 0
   | `Par _ | `Seq -> st.pending_ops <- 0
 
@@ -125,65 +140,7 @@ let distr_of = function
   | 2 -> Darray.Torus2d
   | d -> rte "unknown distribution code %d" d
 
-let rec apply st fv_value args =
-  match fv_value with
-  | VFun f -> apply_fun st f args
-  | v when args = [] -> v
-  | v -> rte "cannot apply %s" (describe v)
-
-and apply_fun st f args =
-    let supplied = f.fv_applied @ args in
-    let arity =
-      match f.fv_target with
-      | `Op _ -> 2
-      | `User name -> (
-          match Hashtbl.find_opt st.funcs name with
-          | Some fn -> List.length fn.Ast.f_params
-          | None -> rte "undefined function %s" name)
-      | `Builtin name -> (
-          match List.assoc_opt name Typecheck.builtins with
-          | Some sch -> List.length sch.Typecheck.sch_params
-          | None -> rte "unknown builtin %s" name)
-    in
-    if List.length supplied < arity then
-      VFun { f with fv_applied = supplied }
-    else if List.length supplied > arity then begin
-      (* curried over-application: call with exactly arity, re-apply rest *)
-      let rec split k = function
-        | rest when k = 0 -> ([], rest)
-        | [] -> ([], [])
-        | x :: rest ->
-            let a, b = split (k - 1) rest in
-            (x :: a, b)
-      in
-      let now, later = split arity supplied in
-      apply st (invoke st f.fv_target now) later
-    end
-    else invoke st f.fv_target supplied
-
-and invoke st target args =
-  match target with
-  | `Op op -> (
-      match args with
-      | [ a; b ] -> binop op a b
-      | _ -> rte "operator section applied to %d args" (List.length args))
-  | `User name -> (
-      match Hashtbl.find_opt st.funcs name with
-      | None -> rte "undefined function %s" name
-      | Some fn ->
-          let env =
-            List.map2
-              (fun p v -> (p.Ast.p_name, ref (copy v)))
-              fn.Ast.f_params args
-          in
-          let body = Option.get fn.Ast.f_body in
-          (try
-             exec_block st env body;
-             VUnit
-           with Return_exc v -> v))
-  | `Builtin name -> builtin st name args
-
-and builtin st name args =
+let builtin st ~apply name args =
   (* sequential work done so far must hit the clock before any collective *)
   if String.length name > 6 && String.sub name 0 6 = "array_" then
     flush_scalar st;
@@ -216,7 +173,7 @@ and builtin st name args =
                       VInt distr ] ->
       let ctx = ctx_of st in
       if Array.length size <> dim then rte "array_create: bad Size";
-      let f ix = Value.copy (apply st init [ VIndex (Array.copy ix) ]) in
+      let f ix = Value.copy (apply init [ VIndex (Array.copy ix) ]) in
       VDarray
         (Skeletons.create ctx ~gsize:(Array.copy size)
            ~distr:(distr_of distr) f)
@@ -224,12 +181,12 @@ and builtin st name args =
       Skeletons.destroy (ctx_of st) a;
       VUnit
   | "array_map", [ f; VDarray src; VDarray dst ] ->
-      let g v ix = Value.copy (apply st f [ v; VIndex (Array.copy ix) ]) in
+      let g v ix = Value.copy (apply f [ v; VIndex (Array.copy ix) ]) in
       Skeletons.map (ctx_of st) g src dst;
       VUnit
   | "array_fold", [ conv; f; VDarray a ] ->
-      let c v ix = Value.copy (apply st conv [ v; VIndex (Array.copy ix) ]) in
-      let g x y = apply st f [ x; y ] in
+      let c v ix = Value.copy (apply conv [ v; VIndex (Array.copy ix) ]) in
+      let g x y = apply f [ x; y ] in
       (* conv_f may change the accumulator type (gauss.skil folds floats
          into elemrec structs), so measure the wire size of the partial
          result instead of trusting the array's element size *)
@@ -241,12 +198,12 @@ and builtin st name args =
       Skeletons.broadcast_part (ctx_of st) a ix;
       VUnit
   | "array_permute_rows", [ VDarray src; perm; VDarray dst ] ->
-      let p r = as_int (apply st perm [ VInt r ]) in
+      let p r = as_int (apply perm [ VInt r ]) in
       Skeletons.permute_rows (ctx_of st) src p dst;
       VUnit
   | "array_gen_mult", [ VDarray a; VDarray b; add; mul; VDarray c ] ->
-      let fadd x y = apply st add [ x; y ] in
-      let fmul x y = apply st mul [ x; y ] in
+      let fadd x y = apply add [ x; y ] in
+      let fmul x y = apply mul [ x; y ] in
       Skeletons.gen_mult (ctx_of st) ~add:fadd ~mul:fmul a b c;
       VUnit
   | "array_part_bounds", [ VDarray a ] ->
@@ -260,7 +217,7 @@ and builtin st name args =
       rte "builtin %s: bad arguments (%s)" name
         (String.concat ", " (List.map describe args))
 
-and constant st name =
+let constant st name =
   match (name, st.backend) with
   (* the paper's "maximal integer value" standing for infinity, scaled so
      that int_max + weight cannot overflow (same choice as Shortest_paths) *)
@@ -275,6 +232,74 @@ and constant st name =
   | "DISTR_TORUS2D", _ -> Some (VInt 2)
   | _ -> None
 
+let is_constant = function
+  | "int_max" | "procId" | "nProcs" | "NULL" | "DISTR_DEFAULT" | "DISTR_RING"
+  | "DISTR_TORUS2D" ->
+      true
+  | _ -> false
+
+(* Split the first [k] elements off [xs] in one linear pass. *)
+let split_at k xs =
+  let rec go k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> go (k - 1) (x :: acc) rest
+  in
+  go k [] xs
+
+(* ---------------- application ---------------- *)
+
+let rec apply st fv_value args =
+  match fv_value with
+  | VFun f -> apply_fun st f args
+  | v when args = [] -> v
+  | v -> rte "cannot apply %s" (describe v)
+
+and apply_fun st f args =
+    let supplied = f.fv_applied @ args in
+    let arity =
+      match f.fv_target with
+      | `Op _ -> 2
+      | `User name -> (
+          match Hashtbl.find_opt st.funcs name with
+          | Some fn -> List.length fn.Ast.f_params
+          | None -> rte "undefined function %s" name)
+      | `Builtin name -> (
+          match Typecheck.builtin_arity name with
+          | Some n -> n
+          | None -> rte "unknown builtin %s" name)
+    in
+    let nsupplied = List.length supplied in
+    if nsupplied < arity then VFun { f with fv_applied = supplied }
+    else if nsupplied > arity then begin
+      (* curried over-application: call with exactly arity, re-apply rest *)
+      let now, later = split_at arity supplied in
+      apply st (invoke st f.fv_target now) later
+    end
+    else invoke st f.fv_target supplied
+
+and invoke st target args =
+  match target with
+  | `Op op -> (
+      match args with
+      | [ a; b ] -> binop op a b
+      | _ -> rte "operator section applied to %d args" (List.length args))
+  | `User name -> (
+      match Hashtbl.find_opt st.funcs name with
+      | None -> rte "undefined function %s" name
+      | Some fn ->
+          let env =
+            List.map2
+              (fun p v -> (p.Ast.p_name, ref (copy v)))
+              fn.Ast.f_params args
+          in
+          let body = Option.get fn.Ast.f_body in
+          (try
+             exec_block st env body;
+             VUnit
+           with Return_exc v -> v))
+  | `Builtin name -> builtin st ~apply:(apply st) name args
+
 (* ---------------- expression evaluation ---------------- *)
 
 and lookup st env name =
@@ -286,7 +311,7 @@ and lookup st env name =
       | None ->
           if Hashtbl.mem st.funcs name then
             VFun { fv_target = `User name; fv_applied = [] }
-          else if List.mem_assoc name Typecheck.builtins then
+          else if Typecheck.is_builtin name then
             VFun { fv_target = `Builtin name; fv_applied = [] }
           else rte "unbound identifier %s" name)
 
@@ -310,7 +335,12 @@ and eval st env (e : Ast.expr) : Value.t =
         if va then VInt (if truthy (eval st env b) then 1 else 0) else VInt 0
       else if va then VInt 1
       else VInt (if truthy (eval st env b) then 1 else 0)
-  | Ast.Binop (op, a, b) -> binop op (eval st env a) (eval st env b)
+  | Ast.Binop (op, a, b) ->
+      (* pin left-to-right: OCaml argument order is unspecified, and the
+         compiled engine must replay operand effects identically *)
+      let va = eval st env a in
+      let vb = eval st env b in
+      binop op va vb
   | Ast.Unop ("!", a) -> VInt (if truthy (eval st env a) then 0 else 1)
   | Ast.Unop ("-", a) -> (
       match eval st env a with
@@ -349,10 +379,7 @@ and eval st env (e : Ast.expr) : Value.t =
 and field st v f =
   ignore st;
   match v with
-  | VStruct s -> (
-      match List.assoc_opt f s.s_vals with
-      | Some r -> !r
-      | None -> rte "structure %s has no field %s" s.s_tag f)
+  | VStruct s -> !(Value.struct_field s f)
   | VBounds b -> bounds_field b f
   | v -> rte "field access on %s" (describe v)
 
@@ -377,19 +404,13 @@ and assign st env (l : Ast.expr) v =
       else rte "Index assignment out of range (%d)" i)
   | Ast.Field (s, f) -> (
       match eval st env s with
-      | VStruct str -> (
-          match List.assoc_opt f str.s_vals with
-          | Some r -> r := v
-          | None -> rte "structure %s has no field %s" str.s_tag f)
+      | VStruct str -> Value.struct_field str f := v
       | w -> rte "field assignment on %s" (describe w))
   | Ast.Arrow (p, f) -> (
       match eval st env p with
       | VPtr r -> (
           match !r with
-          | VStruct str -> (
-              match List.assoc_opt f str.s_vals with
-              | Some cell -> cell := v
-              | None -> rte "structure %s has no field %s" str.s_tag f)
+          | VStruct str -> Value.struct_field str f := v
           | w -> rte "-> assignment on %s" (describe w))
       | VNull -> rte "assignment through NULL"
       | w -> rte "-> assignment on %s" (describe w))
@@ -455,6 +476,6 @@ and exec_block st env stmts = ignore (List.fold_left (exec st) env stmts)
 let call st name args =
   if Hashtbl.mem st.funcs name then
     apply st (VFun { fv_target = `User name; fv_applied = [] }) args
-  else if List.mem_assoc name Typecheck.builtins then
+  else if Typecheck.is_builtin name then
     apply st (VFun { fv_target = `Builtin name; fv_applied = [] }) args
   else rte "undefined function %s" name

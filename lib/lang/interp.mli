@@ -1,17 +1,37 @@
-(** Reference interpreter for Skil.
+(** Reference tree-walking evaluator for Skil (paper section 2.3 semantics).
 
-    Dynamically typed evaluation of (type-checked) programs, supporting the
-    full language incl. higher-order functions, currying, partial
-    application and operator sections — so it can execute both source
-    programs and the first-order output of the instantiation pass, which is
-    what the semantics-preservation tests compare.
+    This is the {e specification} engine: it walks the typed AST directly,
+    supporting the full language incl. higher-order functions, currying,
+    partial application and operator sections — so it can execute both
+    source programs and the first-order output of the instantiation pass.
+    The production engine ({!Compile}) translates each function body once
+    into OCaml closures and must agree with this interpreter bit-for-bit —
+    on printed output, return values, and simulated clocks.  To make that
+    tractable the two engines share one {!state}, one charging hook
+    ({!flush_scalar}) and one builtin/skeleton dispatcher ({!builtin});
+    only expression/statement traversal differs.
+
+    Sequential-work accounting: every expression node evaluated bumps
+    [pending_ops]; {!flush_scalar} converts the pending count into simulated
+    Scalar seconds before each statement and before any skeleton call.
 
     The skeleton builtins of paper section 3 need a simulated machine
     context; they are available when the state is created with [`Par ctx]
     (see {!Spmd}) and raise {!Value.Skil_runtime_error} in sequential
     mode. *)
 
-type state
+type state = {
+  funcs : (string, Ast.func) Hashtbl.t;  (** user functions with bodies *)
+  tyenv : Typecheck.env;
+  backend : [ `Seq | `Par of Machine.ctx ];
+  buf : Buffer.t;  (** accumulated print_* output of this processor *)
+  mutable pending_ops : int;
+      (** expression nodes since the last {!flush_scalar} *)
+}
+
+exception Return_exc of Value.t
+exception Break_exc
+exception Continue_exc
 
 val make :
   ?backend:[ `Seq | `Par of Machine.ctx ] ->
@@ -24,10 +44,57 @@ val call : state -> string -> Value.t list -> Value.t
     returns a function value. *)
 
 val apply : state -> Value.t -> Value.t list -> Value.t
-(** Apply a function value (used by skeleton callbacks). *)
+(** Apply a function value (used by skeleton callbacks), C-curry style:
+    missing arguments yield a closure, surplus arguments re-apply the
+    result. *)
 
 val output : state -> string
 (** Everything printed through the print_* builtins so far. *)
 
 val default_value : state -> Ast.typ -> Value.t
 (** The C zero value of a type (what uninitialized locals start as). *)
+
+(** {1 Shared engine glue}
+
+    Used by {!Compile}; keeping a single implementation of charging,
+    builtins and operators is what makes the engines' simulated clocks and
+    Stats bit-identical. *)
+
+val flush_scalar : state -> unit
+(** Charge [pending_ops] expression nodes as Scalar work on the simulated
+    machine (no-op cost-wise under [`Seq]) and reset the counter. *)
+
+val builtin :
+  state ->
+  apply:(Value.t -> Value.t list -> Value.t) ->
+  string ->
+  Value.t list ->
+  Value.t
+(** Dispatch a builtin or skeleton call.  [apply] invokes functional
+    arguments (the customizing functions of section 3 skeletons) and is
+    supplied by the calling engine.  Flushes pending scalar work before any
+    [array_*] collective. *)
+
+val constant : state -> string -> Value.t option
+(** Predefined constants: [procId], [nProcs], [int_max], [NULL], the
+    [DISTR_*] codes.  Resolved before user functions and builtins. *)
+
+val is_constant : string -> bool
+(** Whether {!constant} would answer for this name (engine-independent). *)
+
+val binop : string -> Value.t -> Value.t -> Value.t
+(** Binary operator by name (no short-circuit forms). *)
+
+val arith : string -> Value.t -> Value.t -> Value.t
+
+val compare_values : Value.t -> Value.t -> int
+(** Ordering on scalars.  @raise Value.Skil_runtime_error on pointers,
+    which admit only equality. *)
+
+val equal_values : Value.t -> Value.t -> bool
+(** Structural equality on scalars, physical equality on pointers. *)
+
+val bounds_field : Index.bounds -> string -> Value.t
+
+val split_at : int -> 'a list -> 'a list * 'a list
+(** [split_at k xs] splits off the first [k] elements in one pass. *)

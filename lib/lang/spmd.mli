@@ -1,16 +1,24 @@
 (** Execute Skil programs on the simulated distributed machine.
 
-    Every processor interprets the same program (SPMD), and the skeleton
+    Every processor runs the same program (SPMD), and the skeleton
     builtins of section 3 execute as collectives on the machine — this is
     the full pipeline of the paper: Skil source in, parallel behaviour and
     simulated runtimes out. *)
 
 type outcome = { value : Value.t; printed : string }
 
+type engine = [ `Ast | `Compiled ]
+(** [`Ast] walks the typed tree with the reference interpreter;
+    [`Compiled] (the default) first translates every function body into
+    OCaml closures ({!Compile}).  The two engines produce bit-identical
+    printed output, return values, simulated makespans, Stats and traces;
+    the compiled one is just faster in wall-clock terms. *)
+
 val run :
   ?cost:Cost_model.t ->
   ?trace:bool ->
   ?instantiate:bool ->
+  ?engine:engine ->
   topology:Topology.t ->
   Ast.program ->
   entry:string ->
@@ -27,6 +35,7 @@ val run_source :
   ?cost:Cost_model.t ->
   ?trace:bool ->
   ?instantiate:bool ->
+  ?engine:engine ->
   topology:Topology.t ->
   string ->
   entry:string ->

@@ -199,6 +199,22 @@ let builtins =
     ("DISTR_TORUS2D", f [] Ast.TInt);
   ]
 
+(* Hashtable view of [builtins]: the execution engines resolve builtin names
+   and arities on every unbound-identifier lookup and every curried
+   application, so give them O(1) instead of a list scan. *)
+let builtins_tbl =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (name, sch) -> Hashtbl.replace tbl name sch) builtins;
+  tbl
+
+let builtin_scheme name = Hashtbl.find_opt builtins_tbl name
+let is_builtin name = Hashtbl.mem builtins_tbl name
+
+let builtin_arity name =
+  match Hashtbl.find_opt builtins_tbl name with
+  | Some sch -> Some (List.length sch.sch_params)
+  | None -> None
+
 (* ---------------- environment construction ---------------- *)
 
 let collect env program =
@@ -253,6 +269,16 @@ let operator_scheme op =
       ([ a; a ], Ast.TInt)
   | "&&" | "||" -> ([ Ast.TInt; Ast.TInt ], Ast.TInt)
   | _ -> invalid_arg ("operator_scheme: " ^ op)
+
+(* Record the resolved aggregate type of a field access on the node itself
+   (under the "<struct>" key, which cannot collide with a $-variable): the
+   compiled engine reads it to turn field names into positional indices
+   without redoing inference.  Idempotent across repeated checks. *)
+let record_field_struct ctx (e : Ast.expr) t =
+  match expand ctx.env t with
+  | Ast.TNamed _ as st ->
+      e.Ast.inst <- ("<struct>", st) :: List.remove_assoc "<struct>" e.Ast.inst
+  | _ -> ()
 
 let rec field_type ctx line t field =
   match expand ctx.env t with
@@ -327,11 +353,16 @@ and check_expr ctx (e : Ast.expr) : Ast.typ =
       unify ctx.env line (check_expr ctx a) Ast.TIndex;
       unify ctx.env line (check_expr ctx i) Ast.TInt;
       Ast.TInt
-  | Ast.Field (s, f) -> field_type ctx line (check_expr ctx s) f
+  | Ast.Field (s, f) ->
+      let ts = check_expr ctx s in
+      record_field_struct ctx e ts;
+      field_type ctx line ts f
   | Ast.Arrow (p, f) -> (
       let t = expand ctx.env (check_expr ctx p) in
       match t with
-      | Ast.TPtr t -> field_type ctx line t f
+      | Ast.TPtr t ->
+          record_field_struct ctx e t;
+          field_type ctx line t f
       | Ast.TBounds -> field_type ctx line Ast.TBounds f
       | t -> err line "-> applied to non-pointer %s" (Ast.type_to_string t))
   | Ast.Deref p -> (

@@ -39,3 +39,12 @@ val zonk : env -> Ast.typ -> Ast.typ
 val builtins : (string * scheme) list
 (** The skeleton interface of paper section 3 plus a small C runtime
     (print functions, min/max, NULL, the DISTR_* constants, ...). *)
+
+val builtin_scheme : string -> scheme option
+(** O(1) lookup into {!builtins} (hashtable built once — the execution
+    engines hit this on every unbound identifier and curried apply). *)
+
+val is_builtin : string -> bool
+
+val builtin_arity : string -> int option
+(** Number of parameters of a builtin, when [name] is one. *)

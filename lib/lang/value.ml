@@ -16,7 +16,12 @@ type t =
   | VFun of vfun
   | VDarray of t Darray.t
 
-and vstruct = { s_tag : string; s_vals : (string * t ref) list }
+(* Fields live at fixed positions (declaration order of the struct_def);
+   [s_names] is shared between all values of the same struct type, so the
+   per-value payload is just the tag and the field cells.  The compiled
+   engine resolves field names to positions at compile time; the reference
+   interpreter searches [s_names]. *)
+and vstruct = { s_tag : string; s_names : string array; s_vals : t ref array }
 
 and vfun = {
   fv_target : [ `User of string | `Builtin of string | `Op of string ];
@@ -31,10 +36,7 @@ let rte fmt = Printf.ksprintf (fun m -> raise (Skil_runtime_error m)) fmt
 let rec copy = function
   | VStruct s ->
       VStruct
-        {
-          s with
-          s_vals = List.map (fun (n, r) -> (n, ref (copy !r))) s.s_vals;
-        }
+        { s with s_vals = Array.map (fun r -> ref (copy !r)) s.s_vals }
   | VIndex a -> VIndex (Array.copy a)
   | ( VUnit | VInt _ | VFloat _ | VStr _ | VChar _ | VBounds _ | VNull
     | VPtr _ | VFun _ | VDarray _ ) as v ->
@@ -53,7 +55,7 @@ let rec wire_bytes = function
   | VBounds b -> 8 * Array.length b.Index.lower
   | VPtr r -> wire_bytes !r
   | VStruct s ->
-      List.fold_left (fun acc (_, r) -> acc + wire_bytes !r) 0 s.s_vals
+      Array.fold_left (fun acc r -> acc + wire_bytes !r) 0 s.s_vals
   | VFun _ | VDarray _ -> 4 (* handles; never meaningfully serialized *)
 
 let describe = function
@@ -106,3 +108,18 @@ let as_darray = function
 let as_fun = function
   | VFun f -> f
   | v -> rte "expected a function, got %s" (describe v)
+
+(* Position of [name] in a struct's field vector, or -1. *)
+let field_index s name =
+  let n = Array.length s.s_names in
+  let rec go i =
+    if i >= n then -1
+    else if String.equal s.s_names.(i) name then i
+    else go (i + 1)
+  in
+  go 0
+
+let struct_field s name =
+  let i = field_index s name in
+  if i < 0 then rte "structure %s has no field %s" s.s_tag name
+  else s.s_vals.(i)

@@ -44,6 +44,9 @@ type t = {
   c_per_hop : float;
   c_per_byte : float;
   sync_comm : bool;
+  c_scalar_factor : float;
+      (* the profile's Scalar factor, hoisted out of the per-statement
+         flush path of the language engines *)
 }
 
 type ctx = { m : t; p : proc }
@@ -77,6 +80,21 @@ let charge ctx cls ~ops ~base =
        | s :: _ -> Trace.span_add_ops s cls ops
        | [] -> ());
     compute ctx (float_of_int ops *. base *. Cost_model.factor (profile ctx) cls)
+  end
+
+(* Fast path for the Skil engines' per-statement scalar flush: same math as
+   [charge ctx Scalar ~ops ~base:Calibration.scalar_node_op] (same operand
+   order, so simulated clocks stay bit-identical), with the factor lookup
+   hoisted to machine construction. *)
+let charge_scalar_nodes ctx ~ops =
+  if ops > 0 then begin
+    if ctx.m.trace_on then
+      (match ctx.p.span_stack with
+       | s :: _ -> Trace.span_add_ops s Cost_model.Scalar ops
+       | [] -> ());
+    compute ctx
+      (float_of_int ops *. Calibration.scalar_node_op
+      *. ctx.m.c_scalar_factor)
   end
 
 let overhead ctx seconds =
@@ -332,6 +350,8 @@ let run ?(cost = Cost_model.default) ?(trace = false) ~topology f =
       c_per_hop = cf *. params.Cost_model.per_hop;
       c_per_byte = cf *. params.Cost_model.per_byte;
       sync_comm = cost.Cost_model.profile.Cost_model.sync_comm;
+      c_scalar_factor =
+        Cost_model.factor cost.Cost_model.profile Cost_model.Scalar;
     }
   in
   let stats =

@@ -47,6 +47,12 @@ val charge : ctx -> Cost_model.op_class -> ops:int -> base:float -> unit
 (** Charge [ops * base * factor] seconds, where the factor comes from the
     run's language profile and the operation class. *)
 
+val charge_scalar_nodes : ctx -> ops:int -> unit
+(** Exactly [charge ctx Scalar ~ops ~base:Calibration.scalar_node_op], with
+    the profile factor hoisted to machine construction — the per-statement
+    flush hook of the Skil execution engines.  The floating-point operand
+    order matches {!charge}, so clocks are bit-identical either way. *)
+
 val charge_skeleton_call : ctx -> unit
 (** Charge the profile's fixed per-skeleton-invocation overhead. *)
 
