@@ -4,9 +4,18 @@
    table/figure measuring the wall-clock cost of a representative cell.
 
    Usage: main.exe [--quick] [--csv DIR] [--jobs N] [--json FILE]
+                   [--check FILE] [--threshold X]
                    [--trace-out FILE] [--profile]
                    [table1|table2|figure1|claim51|claim52|ablations|
                     scaling|bechamel|all]...
+
+   [--check FILE] turns the bechamel run into a regression guard: every
+   cell present in the baseline JSON (a previous --json dump, e.g.
+   BENCH_4.json) must be no slower than baseline * (1 + threshold)
+   (--threshold, default 0.5), and — hardware-independently — the compiled
+   engine must beat the AST engine on both skil_frontend pairs.  Any
+   violation exits nonzero.  With --quick, bechamel uses a reduced
+   per-cell quota suitable for CI.
 
    [all] covers every table/figure/claim; the Bechamel micro-benchmarks
    spend a fixed time quota per cell regardless of simulator speed, so they
@@ -111,7 +120,79 @@ let bechamel_tests () =
       (Staged.stage (fun () -> ignore (shpaths_skil `Compiled ())));
   ]
 
-let run_bechamel ~json () =
+(* Parse the flat JSON dump this harness writes with [--json]: one
+   [  "name": 1.2345,] line per cell.  Hand-rolled on purpose — no JSON
+   dependency, and the format is ours. *)
+let read_baseline file =
+  let ic = open_in file in
+  let cells = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       match String.index_opt line ':' with
+       | Some colon
+         when String.length line > 2 && line.[0] = '"' && line.[colon - 1] = '"'
+         ->
+           let name = String.sub line 1 (colon - 2) in
+           let rest =
+             String.trim (String.sub line (colon + 1)
+                            (String.length line - colon - 1))
+           in
+           let rest =
+             if String.length rest > 0
+                && rest.[String.length rest - 1] = ','
+             then String.sub rest 0 (String.length rest - 1)
+             else rest
+           in
+           (match float_of_string_opt rest with
+            | Some ms -> cells := (name, ms) :: !cells
+            | None -> ())
+       | _ -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !cells
+
+(* Regression guard over the estimates of one bechamel run.
+
+   Two layers: (1) hardware-independent invariants — the compiled engine
+   must beat the AST engine on both skil_frontend pairs (the PR-3 shpaths
+   inversion, where compiled was *slower* than ast, can never silently
+   return); (2) if a baseline file is given, every cell present in it must
+   not be slower than baseline * (1 + threshold).  Returns the failure
+   messages. *)
+let check_estimates ?baseline ~threshold estimates =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let find name = List.assoc_opt name estimates in
+  List.iter
+    (fun prog ->
+      let ast = Printf.sprintf "cells/skil_frontend(%s-ast)" prog in
+      let compiled = Printf.sprintf "cells/skil_frontend(%s-compiled)" prog in
+      match (find ast, find compiled) with
+      | Some a, Some c ->
+          if c >= a then
+            fail "engine inversion: %s (%.3f ms) is not faster than %s (%.3f ms)"
+              compiled c ast a
+      | _ -> fail "pair %s/%s missing from this run" ast compiled)
+    [ "gauss-n16"; "shpaths-n16" ];
+  (match baseline with
+   | None -> ()
+   | Some cells ->
+       List.iter
+         (fun (name, base) ->
+           match find name with
+           | None ->
+               Printf.printf "check: %s in baseline but not in this run\n" name
+           | Some now ->
+               let limit = base *. (1. +. threshold) in
+               if now > limit then
+                 fail "regression: %s is %.3f ms, baseline %.3f ms (limit %.3f)"
+                   name now base limit)
+         cells);
+  List.rev !failures
+
+let run_bechamel ~quick ~json ~check ~threshold () =
   print_endline "== Bechamel: wall-clock cost of one simulation per cell ==";
   let open Bechamel in
   let open Toolkit in
@@ -119,7 +200,14 @@ let run_bechamel ~json () =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instance = Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~stabilize:false () in
+  (* --quick shrinks the per-cell time quota (CI guard); full runs keep the
+     baseline-grade quota *)
+  let cfg =
+    if quick then
+      Benchmark.cfg ~limit:20 ~quota:(Time.second 0.1) ~stabilize:false ()
+    else
+      Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
   let estimates = ref [] in
   List.iter
     (fun test ->
@@ -135,20 +223,36 @@ let run_bechamel ~json () =
         results)
     (List.map (fun t -> Test.make_grouped ~name:"cells" [ t ]) (bechamel_tests ()));
   print_newline ();
-  match json with
+  (match json with
+   | None -> ()
+   | Some file ->
+       (* flat machine-readable dump, used to refresh BENCH_*.json baselines *)
+       let oc = open_out file in
+       output_string oc "{\n";
+       List.iteri
+         (fun i (name, ms) ->
+           Printf.fprintf oc "  %S: %.4f%s\n" name ms
+             (if i = List.length !estimates - 1 then "" else ","))
+         (List.rev !estimates);
+       output_string oc "}\n";
+       close_out oc;
+       Printf.printf "bechamel estimates written to %s\n\n" file);
+  match check with
   | None -> ()
-  | Some file ->
-      (* flat machine-readable dump, used to refresh BENCH_*.json baselines *)
-      let oc = open_out file in
-      output_string oc "{\n";
-      List.iteri
-        (fun i (name, ms) ->
-          Printf.fprintf oc "  %S: %.4f%s\n" name ms
-            (if i = List.length !estimates - 1 then "" else ","))
-        (List.rev !estimates);
-      output_string oc "}\n";
-      close_out oc;
-      Printf.printf "bechamel estimates written to %s\n\n" file
+  | Some baseline_file ->
+      let baseline = read_baseline baseline_file in
+      (match
+         check_estimates ~baseline ~threshold (List.rev !estimates)
+       with
+       | [] ->
+           Printf.printf
+             "check: all cells within %.0f%% of %s, compiled beats ast\n\n"
+             (threshold *. 100.) baseline_file
+       | failures ->
+           List.iter (fun m -> Printf.printf "check FAILED: %s\n" m) failures;
+           print_newline ();
+           Pool.shutdown ();
+           exit 1)
 
 (* ------------------------------------------------------------------ *)
 
@@ -168,7 +272,18 @@ let () =
   let csv_dir, args = extract_opt "--csv" args in
   let jobs_arg, args = extract_opt "--jobs" args in
   let json_file, args = extract_opt "--json" args in
+  let check_file, args = extract_opt "--check" args in
+  let threshold_arg, args = extract_opt "--threshold" args in
   let trace_out, args = extract_opt "--trace-out" args in
+  let threshold =
+    match threshold_arg with
+    | None -> 0.5
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some t when t >= 0. -> t
+        | Some _ | None ->
+            failwith "--threshold expects a non-negative float (0.5 = +50%)")
+  in
   let want_profile = List.mem "--profile" args in
   let args = List.filter (fun a -> a <> "--profile") args in
   let jobs =
@@ -216,7 +331,8 @@ let () =
    | None -> ());
   (* explicit-only: Bechamel spends a fixed time quota per cell, which would
      drown the tables' wall-clock in any speedup measurement of [all] *)
-  if List.mem "bechamel" targets then run_bechamel ~json:json_file ();
+  if List.mem "bechamel" targets then
+    run_bechamel ~quick ~json:json_file ~check:check_file ~threshold ();
   (* tracing is opt-in and re-runs its own cell, so the timed table cells
      above always execute with recording disabled *)
   (if trace_out <> None || want_profile then begin

@@ -169,7 +169,7 @@ let engine_conv =
 
 let run_par_cmd =
   let run file entry args width height torus profile no_instantiate engine
-      trace_out want_profile =
+      no_specialize trace_out want_profile =
     handle_errors (fun () ->
         let program, _ = load file in
         let topology =
@@ -179,7 +179,8 @@ let run_par_cmd =
         let nprocs = Topology.nprocs topology in
         let trace = trace_out <> None || want_profile in
         let r =
-          Spmd.run ~instantiate:(not no_instantiate) ~engine ~trace
+          Spmd.run ~instantiate:(not no_instantiate) ~engine
+            ~specialize:(not no_specialize) ~trace
             ~cost:(Cost_model.make profile) ~topology program ~entry
             ~args:(List.map (fun n -> Value.VInt n) args)
         in
@@ -238,6 +239,14 @@ let run_par_cmd =
                    reference tree-walking interpreter).  Both produce \
                    bit-identical output and simulated times.")
   in
+  let no_specialize =
+    Arg.(value & flag
+         & info [ "no-specialize" ]
+             ~doc:"Disable payload specialisation in the compiled engine: \
+                   keep every distributed-array element boxed and dispatch \
+                   skeleton argument functions generically (A/B escape \
+                   hatch; results are bit-identical either way).")
+  in
   let trace_out =
     Arg.(value
          & opt (some string) None
@@ -257,8 +266,8 @@ let run_par_cmd =
     (Cmd.info "run-par"
        ~doc:"Execute a Skil program on the simulated Parsytec machine.")
     Term.(const run $ file_arg $ entry_arg $ args_arg $ width $ height
-          $ torus $ profile $ no_instantiate $ engine $ trace_out
-          $ want_profile)
+          $ torus $ profile $ no_instantiate $ engine $ no_specialize
+          $ trace_out $ want_profile)
 
 let () =
   let doc = "the Skil compiler (HPDC '96 reproduction)" in

@@ -98,25 +98,101 @@ let poke a ix v =
   let p = a.parts.(rank) in
   p.data.(Distribution.region_offset p.region ix) <- v
 
+(* Copy one rectangular partition into the row-major global image: local
+   storage is row-major over the rectangle, so it decomposes into runs of
+   [extent(last dim)] contiguous elements, one blit per run, with an
+   odometer over the leading dimensions supplying each run's global base
+   offset.  No per-element ownership lookup. *)
+let blit_rect_part gsize (p : 'a part) (b : Index.bounds) out =
+  let dim = Array.length b.Index.lower in
+  if Array.length p.data > 0 then
+    if dim = 0 then out.(0) <- p.data.(0)
+    else begin
+      let strides = Array.make dim 1 in
+      for d = dim - 2 downto 0 do
+        strides.(d) <- strides.(d + 1) * gsize.(d + 1)
+      done;
+      let run = b.Index.upper.(dim - 1) - b.Index.lower.(dim - 1) in
+      let ix = Array.copy b.Index.lower in
+      let src = ref 0 in
+      let more = ref true in
+      while !more do
+        let base = ref 0 in
+        for d = 0 to dim - 1 do
+          base := !base + (ix.(d) * strides.(d))
+        done;
+        Array.blit p.data !src out !base run;
+        src := !src + run;
+        (* advance the odometer over the leading dimensions *)
+        let d = ref (dim - 2) in
+        let carry = ref true in
+        while !carry && !d >= 0 do
+          ix.(!d) <- ix.(!d) + 1;
+          if ix.(!d) < b.Index.upper.(!d) then carry := false
+          else begin
+            ix.(!d) <- b.Index.lower.(!d);
+            decr d
+          end
+        done;
+        if !carry then more := false
+      done
+    end
+
+let seed_elem parts =
+  let seed = ref None in
+  Array.iter
+    (fun p ->
+      match !seed with
+      | None -> if Array.length p.data > 0 then seed := Some p.data.(0)
+      | Some _ -> ())
+    parts;
+  match !seed with
+  | Some v -> v
+  | None -> invalid_arg "Darray: no resident element to seed a copy from"
+
 let to_flat a =
   check_alive a;
   let n = Index.volume a.gsize in
   if n = 0 then [||]
   else begin
-    let b =
-      { Index.lower = Array.make a.dim 0; upper = Array.copy a.gsize }
-    in
-    let out = ref [||] in
-    let pos = ref 0 in
-    Index.iter b (fun ix ->
-        let v = peek a ix in
-        if !pos = 0 then out := Array.make n v;
-        !out.(!pos) <- v;
-        incr pos);
-    !out
+    let out = Array.make n (seed_elem a.parts) in
+    Array.iter
+      (fun p ->
+        match p.region with
+        | Distribution.Rect b -> blit_rect_part a.gsize p b out
+        | Distribution.Rows { rows; ncols } ->
+            Array.iteri
+              (fun i r -> Array.blit p.data (i * ncols) out (r * ncols) ncols)
+              rows)
+      a.parts;
+    out
   end
 
 let row a r =
   check_alive a;
   if a.dim <> 2 then invalid_arg "Darray.row: 2-D arrays only";
-  Array.init a.gsize.(1) (fun c -> peek a [| r; c |])
+  if r < 0 || r >= a.gsize.(0) then invalid_arg "Darray.row: row out of range";
+  let ncols = a.gsize.(1) in
+  if ncols = 0 then [||]
+  else begin
+    (* every partition that intersects the row contributes one contiguous
+       run of columns; together they tile it *)
+    let out = Array.make ncols (seed_elem a.parts) in
+    Array.iter
+      (fun p ->
+        match p.region with
+        | Distribution.Rect b ->
+            let width = b.Index.upper.(1) - b.Index.lower.(1) in
+            if
+              width > 0 && r >= b.Index.lower.(0) && r < b.Index.upper.(0)
+            then
+              Array.blit p.data
+                ((r - b.Index.lower.(0)) * width)
+                out b.Index.lower.(1) width
+        | Distribution.Rows { rows; ncols = nc } -> (
+            match Distribution.find_row rows r with
+            | Some i -> Array.blit p.data (i * nc) out 0 nc
+            | None -> ()))
+      a.parts;
+    out
+  end

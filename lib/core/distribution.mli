@@ -43,6 +43,10 @@ val rank_of_block : t -> int array -> int
 
 val same_layout : t -> t -> bool
 
+val find_row : int array -> int -> int option
+(** Binary search in a sorted row set (the [rows] of a cyclic region):
+    position of the row inside the set, or [None] if absent. *)
+
 val region_count : region -> int
 val region_mem : region -> Index.t -> bool
 val region_offset : region -> Index.t -> int

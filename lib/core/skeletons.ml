@@ -147,6 +147,23 @@ let copy ctx (src : 'a Darray.t) (dst : 'a Darray.t) =
   Array.blit ps.Darray.data 0 pd.Darray.data 0 n;
   Machine.charge_copy ctx ~bytes:(n * Darray.elem_bytes src)
 
+(* Same skeleton as [copy] (same span, same charge) for arrays whose host
+   representations differ: [conv] converts each element.  Needed when a
+   payload-specialised array (unboxed int/float parts) is copied to or from
+   a generic boxed one — the simulated machine sees the exact same copy
+   either way. *)
+let copy_with ctx conv (src : 'a Darray.t) (dst : 'b Darray.t) =
+  check_same_layout "array_copy" src dst;
+  with_span ctx "array_copy" @@ fun () ->
+  skeleton ctx;
+  let me = rank ctx in
+  let ps = Darray.part src ~rank:me and pd = Darray.part dst ~rank:me in
+  let n = Array.length ps.Darray.data in
+  for i = 0 to n - 1 do
+    pd.Darray.data.(i) <- conv ps.Darray.data.(i)
+  done;
+  Machine.charge_copy ctx ~bytes:(n * Darray.elem_bytes src)
+
 (* ------------------------------------------------------------------ *)
 (* broadcast_part                                                      *)
 

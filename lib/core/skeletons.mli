@@ -93,6 +93,12 @@ val copy : ctx -> 'a Darray.t -> 'a Darray.t -> unit
 (** [array_copy from to]: partition-wise contiguous copy (cheap — no
     per-element function calls).  Layouts must match. *)
 
+val copy_with : ctx -> ('a -> 'b) -> 'a Darray.t -> 'b Darray.t -> unit
+(** [copy_with ctx conv from to]: {!copy} between arrays whose host
+    representations differ, converting each element with [conv].  Charges
+    exactly what {!copy} charges — the representation is invisible to the
+    simulated machine. *)
+
 val broadcast_part : ctx -> 'a Darray.t -> Index.t -> unit
 (** [array_broadcast_part a ix]: the partition containing [ix] overwrites
     every other partition (tree broadcast).  All partitions must have the

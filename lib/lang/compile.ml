@@ -41,12 +41,27 @@ type scode = Interp.state -> frame -> unit
 
 type cfn = {
   c_arity : int;
+  (* mutable so recursive / forward references patch through the table;
+     read at call time *)
+  mutable c_size : int;  (* frame slots of the compiled body *)
+  mutable c_ix_safe : bool;
+      (* body provably never assigns through an Index subscript, so a
+         skeleton element loop may lend it the iteration's scratch index
+         without a private copy (see [stmt_writes_index]) *)
+  mutable c_run : Interp.state -> frame -> Value.t;
+      (* run the body on a caller-built frame (specialised call sites fill
+         slots directly, skipping the argument list) *)
   mutable c_invoke : Interp.state -> Value.t list -> Value.t;
-      (* mutable so recursive / forward references patch through the
-         table; read at call time *)
 }
 
-type t = { cfuncs : (string, cfn) Hashtbl.t; tyenv : Typecheck.env }
+type t = {
+  cfuncs : (string, cfn) Hashtbl.t;
+  tyenv : Typecheck.env;
+  specialize : bool;
+      (* payload specialisation: intercept saturated skeleton calls and run
+         them over unboxed int/float partitions (--no-specialize turns the
+         compiled engine back into PR 3's generic-payload version) *)
+}
 
 type fctx = {
   prog : t;
@@ -79,6 +94,48 @@ let combine1 ce g =
       dyn (fun st f ->
           bump st 1;
           g (r st f))
+
+(* Whether a body contains an assignment through an Index subscript
+   (ix[i] = ...) — the only operation that mutates an Index array in place.
+   Every other boundary copies ([Value.copy] on declarations, assignments,
+   parameter passing and returns), so a function whose body is free of
+   subscript assignment can be lent a skeleton iteration's scratch index
+   without a private copy: it can neither mutate nor retain it. *)
+let rec expr_writes_index (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Assign ({ Ast.desc = Ast.Idx _; _ }, _) -> true
+  | Ast.Int _ | Ast.Float _ | Ast.Str _ | Ast.Chr _ | Ast.Var _
+  | Ast.OpSection _ ->
+      false
+  | Ast.Call (f, args) ->
+      expr_writes_index f || List.exists expr_writes_index args
+  | Ast.Binop (_, a, b) | Ast.Assign (a, b) | Ast.Idx (a, b) ->
+      expr_writes_index a || expr_writes_index b
+  | Ast.Unop (_, a) | Ast.Field (a, _) | Ast.Arrow (a, _) | Ast.Deref a
+  | Ast.New a ->
+      expr_writes_index a
+  | Ast.ArrayLit es -> List.exists expr_writes_index es
+  | Ast.Cond (a, b, c) ->
+      expr_writes_index a || expr_writes_index b || expr_writes_index c
+
+let rec stmt_writes_index = function
+  | Ast.SExpr e -> expr_writes_index e
+  | Ast.SDecl (_, _, init) ->
+      Option.fold ~none:false ~some:expr_writes_index init
+  | Ast.SIf (c, a, b) ->
+      expr_writes_index c
+      || List.exists stmt_writes_index a
+      || List.exists stmt_writes_index b
+  | Ast.SWhile (c, b) ->
+      expr_writes_index c || List.exists stmt_writes_index b
+  | Ast.SFor (i, c, s, b) ->
+      Option.fold ~none:false ~some:stmt_writes_index i
+      || Option.fold ~none:false ~some:expr_writes_index c
+      || Option.fold ~none:false ~some:expr_writes_index s
+      || List.exists stmt_writes_index b
+  | Ast.SReturn e -> Option.fold ~none:false ~some:expr_writes_index e
+  | Ast.SBreak | Ast.SContinue -> false
+  | Ast.SBlock b -> List.exists stmt_writes_index b
 
 (* ---------------- runtime application (currying fallback) -------------- *)
 
@@ -189,6 +246,397 @@ let op_fn op : Value.t -> Value.t -> Value.t =
         | VInt x, VInt y -> VInt (if x >= y then 1 else 0)
         | _ -> VInt (if Interp.compare_values a b >= 0 then 1 else 0))
   | op -> fun a b -> Interp.binop op a b
+
+(* Pure scalar builtins, resolved at the call site: the same results and
+   the same error text as the corresponding [Interp.builtin] arms, minus
+   the argument-list cons and the dispatcher's string match (gauss's pivot
+   fold calls fabs once per element).  None of these flush pending work,
+   so their node counts pre-sum like any other flush-free subtree. *)
+let bad_args name v =
+  rte "builtin %s: bad arguments (%s)" name (describe v)
+
+let scalar_builtin_1 = function
+  | "abs" ->
+      Some (function VInt n -> VInt (abs n) | v -> bad_args "abs" v)
+  | "fabs" ->
+      Some
+        (function VFloat f -> VFloat (Float.abs f) | v -> bad_args "fabs" v)
+  | "sqrt" ->
+      Some (function VFloat f -> VFloat (sqrt f) | v -> bad_args "sqrt" v)
+  | "log2" ->
+      Some
+        (function
+          | VInt n ->
+              let rec go k pow = if pow >= n then k else go (k + 1) (2 * pow) in
+              VInt (go 0 1)
+          | v -> bad_args "log2" v)
+  | "itof" ->
+      Some
+        (function
+          | VInt n -> VFloat (float_of_int n) | v -> bad_args "itof" v)
+  | "ftoi" ->
+      Some
+        (function
+          | VFloat f -> VInt (int_of_float f) | v -> bad_args "ftoi" v)
+  | _ -> None
+
+let scalar_builtin_2 = function
+  | "min" ->
+      Some (fun a b -> if Interp.compare_values a b <= 0 then a else b)
+  | "max" ->
+      Some (fun a b -> if Interp.compare_values a b >= 0 then a else b)
+  | _ -> None
+
+(* ---------------- payload-specialised skeleton calls ----------------
+
+   The paper's "translation by instantiation" carried into the data plane:
+   after typecheck + instantiation every frontend pardata has a statically
+   known element type, so a saturated skeleton call over int/double
+   elements can run on flat unboxed partitions (Value.DInt/DFloat) with its
+   argument functions compiled to unboxed closures — no [Value.t] allocated
+   per element.  Interception is decided per call site at compile time
+   (from the typechecker's [inst] annotation where the payload choice needs
+   it); the resulting handler still re-checks the run-time payload kinds
+   and falls back to the generic [Interp.builtin] dispatcher whenever a
+   function value or payload defeats it (arrays created through curried
+   fallback paths stay generic, struct/pointer elements stay boxed).
+
+   The cost contract is untouched: handlers flush at the same point the
+   generic dispatcher flushes, charge through the same [Skeletons] entry
+   points with the same op counts and byte sizes, and specialised
+   argument-function closures run the very same compiled bodies via
+   [c_run] (same pending_ops bumps, same flush points) — only the boxing
+   at the call boundary differs.  [test/test_engines.ml] pins makespans,
+   Stats and traces bit-identical across engines × specialisation. *)
+
+let box_i n = VInt n
+let box_f x = VFloat x
+
+(* A user function saturated by exactly [extra] more arguments, as a target
+   for a direct-frame invoker; None sends the caller to the generic path. *)
+let user_target prog fv ~extra =
+  match fv with
+  | VFun { fv_target = `User name; fv_applied } -> (
+      match Hashtbl.find_opt prog.cfuncs name with
+      | Some fn when List.length fv_applied + extra = fn.c_arity ->
+          Some (fn, Array.of_list fv_applied)
+      | _ -> None)
+  | _ -> None
+
+(* Element function of map/fold-conv: last two parameters are (element,
+   Index).  The frame is built directly — applied arguments and boxed
+   element mirror [c_invoke]'s per-argument [Value.copy] (scalar boxes are
+   fresh, so they need no copy).  The Index argument: the generic path
+   hands the callee a private copy of the iteration's scratch index; when
+   the body provably never writes through an Index ([c_ix_safe]) the
+   scratch is lent directly. *)
+let elem_fn2 prog st fv ~box ~unbox =
+  match user_target prog fv ~extra:2 with
+  | None -> None
+  | Some (fn, appl) ->
+      let na = Array.length appl in
+      let size = fn.c_size and ix_safe = fn.c_ix_safe in
+      Some
+        (fun v ix ->
+          let frame = Array.make size VUnit in
+          for i = 0 to na - 1 do
+            frame.(i) <- Value.copy appl.(i)
+          done;
+          frame.(na) <- box v;
+          frame.(na + 1) <- VIndex (if ix_safe then ix else Array.copy ix);
+          unbox (fn.c_run st frame))
+
+(* Init function of array_create: Index -> element. *)
+let elem_fn1 prog st fv ~unbox =
+  match user_target prog fv ~extra:1 with
+  | None -> None
+  | Some (fn, appl) ->
+      let na = Array.length appl in
+      let size = fn.c_size and ix_safe = fn.c_ix_safe in
+      Some
+        (fun ix ->
+          let frame = Array.make size VUnit in
+          for i = 0 to na - 1 do
+            frame.(i) <- Value.copy appl.(i)
+          done;
+          frame.(na) <- VIndex (if ix_safe then ix else Array.copy ix);
+          unbox (fn.c_run st frame))
+
+(* Binary combining functions (fold merge, gen_mult add/mul) at unboxed
+   int/float.  Operator sections and min/max keep the generic semantics
+   exactly (same division-by-zero messages, same tie-breaking: min/max
+   answer the LEFT operand on equality). *)
+let int_binop prog st fv : (int -> int -> int) option =
+  match fv with
+  | VFun { fv_target = `Op op; fv_applied = [] } -> (
+      match op with
+      | "+" -> Some ( + )
+      | "-" -> Some ( - )
+      | "*" -> Some ( * )
+      | "/" ->
+          Some (fun a b -> if b = 0 then rte "division by zero" else a / b)
+      | "%" ->
+          Some (fun a b -> if b = 0 then rte "modulo by zero" else a mod b)
+      | _ -> None)
+  | VFun { fv_target = `Builtin "min"; fv_applied = [] } ->
+      Some (fun a b -> if a <= b then a else b)
+  | VFun { fv_target = `Builtin "max"; fv_applied = [] } ->
+      Some (fun a b -> if a >= b then a else b)
+  | _ -> (
+      match user_target prog fv ~extra:2 with
+      | None -> None
+      | Some (fn, appl) ->
+          let na = Array.length appl in
+          let size = fn.c_size in
+          Some
+            (fun a b ->
+              let frame = Array.make size VUnit in
+              for i = 0 to na - 1 do
+                frame.(i) <- Value.copy appl.(i)
+              done;
+              frame.(na) <- VInt a;
+              frame.(na + 1) <- VInt b;
+              as_int (fn.c_run st frame)))
+
+let float_binop prog st fv : (float -> float -> float) option =
+  match fv with
+  | VFun { fv_target = `Op op; fv_applied = [] } -> (
+      match op with
+      | "+" -> Some ( +. )
+      | "-" -> Some ( -. )
+      | "*" -> Some ( *. )
+      | "/" -> Some ( /. )
+      | _ -> None)
+  | VFun { fv_target = `Builtin "min"; fv_applied = [] } ->
+      Some (fun a b -> if Float.compare a b <= 0 then a else b)
+  | VFun { fv_target = `Builtin "max"; fv_applied = [] } ->
+      Some (fun a b -> if Float.compare a b >= 0 then a else b)
+  | _ -> (
+      match user_target prog fv ~extra:2 with
+      | None -> None
+      | Some (fn, appl) ->
+          let na = Array.length appl in
+          let size = fn.c_size in
+          Some
+            (fun a b ->
+              let frame = Array.make size VUnit in
+              for i = 0 to na - 1 do
+                frame.(i) <- Value.copy appl.(i)
+              done;
+              frame.(na) <- VFloat a;
+              frame.(na + 1) <- VFloat b;
+              as_float (fn.c_run st frame)))
+
+(* Value-level binary combining function: still boxed, but skips the
+   currying machinery (used for struct-accumulator fold merges and
+   generic-payload gen_mult). *)
+let value_fn2 prog st fv =
+  match user_target prog fv ~extra:2 with
+  | None -> None
+  | Some (fn, appl) ->
+      let na = Array.length appl in
+      let size = fn.c_size in
+      Some
+        (fun a b ->
+          let frame = Array.make size VUnit in
+          for i = 0 to na - 1 do
+            frame.(i) <- Value.copy appl.(i)
+          done;
+          frame.(na) <- Value.copy a;
+          frame.(na + 1) <- Value.copy b;
+          fn.c_run st frame)
+
+let value_binop prog st fv : (Value.t -> Value.t -> Value.t) option =
+  match fv with
+  | VFun { fv_target = `Op op; fv_applied = [] } -> Some (op_fn op)
+  | VFun { fv_target = `Builtin "min"; fv_applied = [] } ->
+      Some (fun a b -> if Interp.compare_values a b <= 0 then a else b)
+  | VFun { fv_target = `Builtin "max"; fv_applied = [] } ->
+      Some (fun a b -> if Interp.compare_values a b >= 0 then a else b)
+  | _ -> value_fn2 prog st fv
+
+(* Compile-time interception of a saturated skeleton call.  Returns a
+   handler over the already-evaluated arguments (the call-site wrapper
+   flushes pending scalar work first, exactly where the generic dispatcher
+   flushes), or None to use the generic dispatcher unconditionally. *)
+let specialize_skeleton prog (h : Ast.expr) name :
+    (Interp.state -> Value.t list -> Value.t) option =
+  let kind v =
+    match List.assoc_opt v h.Ast.inst with
+    | Some t -> (
+        match Typecheck.expand prog.tyenv t with
+        | Ast.TInt -> Some `I
+        | Ast.TFloat -> Some `F
+        | _ -> None)
+    | None -> None
+  in
+  let generic st argv =
+    Interp.builtin st ~apply:(rt_apply prog st) name argv
+  in
+  match name with
+  | "array_create" ->
+      (* the one call where the payload choice must come from the static
+         element type: the init function returns a bare value *)
+      Some
+        (fun st argv ->
+          match argv with
+          | [ VInt dim; VIndex size; VIndex _; VIndex _; init; VInt distr ]
+            -> (
+              let mk : 'e. ('e Darray.t -> darray) -> (Index.t -> 'e) ->
+                  Value.t =
+               fun wrap f ->
+                let ctx = Interp.ctx_of st in
+                if Array.length size <> dim then rte "array_create: bad Size";
+                VDarray
+                  (wrap
+                     (Skeletons.create ctx ~gsize:(Array.copy size)
+                        ~distr:(Interp.distr_of distr) f))
+              in
+              match kind "t" with
+              | Some `I -> (
+                  match elem_fn1 prog st init ~unbox:as_int with
+                  | Some f -> mk (fun a -> DInt a) f
+                  | None -> generic st argv)
+              | Some `F -> (
+                  match elem_fn1 prog st init ~unbox:as_float with
+                  | Some f -> mk (fun a -> DFloat a) f
+                  | None -> generic st argv)
+              | None -> (
+                  match elem_fn1 prog st init ~unbox:Value.copy with
+                  | Some f -> mk (fun a -> DGen a) f
+                  | None -> generic st argv))
+          | argv -> generic st argv)
+  | "array_map" ->
+      (* run-time payload kinds fully determine the boxing *)
+      Some
+        (fun st argv ->
+          match argv with
+          | [ fv; VDarray src; VDarray dst ] -> (
+              let same :
+                  'e. ('e -> Index.t -> 'e) option -> 'e Darray.t ->
+                  'e Darray.t -> Value.t =
+               fun g s d ->
+                match g with
+                | Some g ->
+                    Skeletons.map (Interp.ctx_of st) g s d;
+                    VUnit
+                | None -> generic st argv
+              in
+              let into :
+                  'a 'b. ('a -> Index.t -> 'b) option -> 'a Darray.t ->
+                  'b Darray.t -> Value.t =
+               fun g s d ->
+                match g with
+                | Some g ->
+                    Skeletons.map_into (Interp.ctx_of st) g s d;
+                    VUnit
+                | None -> generic st argv
+              in
+              let fn2 ~box ~unbox = elem_fn2 prog st fv ~box ~unbox in
+              match (src, dst) with
+              | DInt s, DInt d -> same (fn2 ~box:box_i ~unbox:as_int) s d
+              | DFloat s, DFloat d ->
+                  same (fn2 ~box:box_f ~unbox:as_float) s d
+              | DGen s, DGen d ->
+                  same (fn2 ~box:Value.copy ~unbox:Value.copy) s d
+              | DInt s, DFloat d -> into (fn2 ~box:box_i ~unbox:as_float) s d
+              | DFloat s, DInt d -> into (fn2 ~box:box_f ~unbox:as_int) s d
+              | DGen s, DInt d -> into (fn2 ~box:Value.copy ~unbox:as_int) s d
+              | DGen s, DFloat d ->
+                  into (fn2 ~box:Value.copy ~unbox:as_float) s d
+              | DInt s, DGen d -> into (fn2 ~box:box_i ~unbox:Value.copy) s d
+              | DFloat s, DGen d ->
+                  into (fn2 ~box:box_f ~unbox:Value.copy) s d)
+          | argv -> generic st argv)
+  | "array_fold" ->
+      let acc_kind = kind "t2" in
+      Some
+        (fun st argv ->
+          match argv with
+          | [ conv; fv; VDarray a ] -> (
+              (* scalar accumulators fold fully unboxed (acc wire size is 4,
+                 matching Value.wire_bytes on VInt/VFloat and the empty-
+                 partition elem_bytes fallback); struct accumulators keep a
+                 boxed acc but still run conv/merge on direct frames *)
+              let go :
+                  'e. box:('e -> Value.t) -> 'e Darray.t -> Value.t =
+               fun ~box a ->
+                let fn2 unbox = elem_fn2 prog st conv ~box ~unbox in
+                let scalar =
+                  match acc_kind with
+                  | Some `I -> (
+                      match (fn2 as_int, int_binop prog st fv) with
+                      | Some c, Some f -> Some (`IFold (c, f))
+                      | _ -> None)
+                  | Some `F -> (
+                      match (fn2 as_float, float_binop prog st fv) with
+                      | Some c, Some f -> Some (`FFold (c, f))
+                      | _ -> None)
+                  | None -> None
+                in
+                match scalar with
+                | Some (`IFold (c, f)) ->
+                    VInt
+                      (Skeletons.fold (Interp.ctx_of st)
+                         ~acc_bytes_of:(fun _ -> 4)
+                         ~conv:c f a)
+                | Some (`FFold (c, f)) ->
+                    VFloat
+                      (Skeletons.fold (Interp.ctx_of st)
+                         ~acc_bytes_of:(fun _ -> 4)
+                         ~conv:c f a)
+                | None -> (
+                    match fn2 Value.copy with
+                    | Some c ->
+                        let g =
+                          match value_binop prog st fv with
+                          | Some g -> g
+                          | None -> fun x y -> rt_apply prog st fv [ x; y ]
+                        in
+                        Skeletons.fold (Interp.ctx_of st)
+                          ~acc_bytes_of:Value.wire_bytes ~conv:c g a
+                    | None -> generic st argv)
+              in
+              match a with
+              | DInt a -> go ~box:box_i a
+              | DFloat a -> go ~box:box_f a
+              | DGen a -> go ~box:Value.copy a)
+          | argv -> generic st argv)
+  | "array_gen_mult" ->
+      Some
+        (fun st argv ->
+          match argv with
+          | [ VDarray a; VDarray b; add; mul; VDarray c ] -> (
+              match (a, b, c) with
+              | DInt a, DInt b, DInt c -> (
+                  match (int_binop prog st add, int_binop prog st mul) with
+                  | Some fa, Some fm ->
+                      Skeletons.gen_mult (Interp.ctx_of st) ~add:fa ~mul:fm a
+                        b c;
+                      VUnit
+                  | _ -> generic st argv)
+              | DFloat a, DFloat b, DFloat c -> (
+                  match (float_binop prog st add, float_binop prog st mul)
+                  with
+                  | Some fa, Some fm ->
+                      Skeletons.gen_mult (Interp.ctx_of st) ~add:fa ~mul:fm a
+                        b c;
+                      VUnit
+                  | _ -> generic st argv)
+              | DGen a, DGen b, DGen c -> (
+                  match (value_binop prog st add, value_binop prog st mul)
+                  with
+                  | Some fa, Some fm ->
+                      Skeletons.gen_mult (Interp.ctx_of st) ~add:fa ~mul:fm a
+                        b c;
+                      VUnit
+                  | _ -> generic st argv)
+              | _ -> generic st argv)
+          | argv -> generic st argv)
+  (* array_get_elem / array_put_elem / array_part_bounds are intercepted
+     earlier, at the call site (compile_call), where the argument slots can
+     be read without consing a list *)
+  | _ -> None
 
 (* ---------------- struct field resolution ---------------- *)
 
@@ -469,14 +917,99 @@ and compile_call fc scope h args =
             fn.c_invoke st (eval_sealed st f))
       else if nargs < fn.c_arity then partial (`User x)
       else over (`User x) fn.c_arity
-  | `Builtin (x, arity) ->
-      if nargs = arity then
-        dyn (fun st f ->
-            bump st 2;
-            Interp.builtin st ~apply:(rt_apply fc.prog st) x
-              (eval_sealed st f))
-      else if nargs < arity then partial (`Builtin x)
-      else over (`Builtin x) arity
+  | `Builtin (x, arity) -> (
+      if nargs <> arity then
+        if nargs < arity then partial (`Builtin x) else over (`Builtin x) arity
+      else
+        (* Local-access builtins are the per-element hot path of skeleton
+           argument functions (gauss reads two elements per eliminate call):
+           evaluate the argument slots straight into locals instead of
+           consing an argument list, with the same bumps and the same flush
+           point as the generic dispatcher.  On a shape mismatch we rebuild
+           the list and fall back (the dispatcher re-flushes; that is a
+           no-op at pending = 0). *)
+        match (x, sealed) with
+        | "array_get_elem", [| sa; si |] when fc.prog.specialize ->
+            dyn (fun st f ->
+                bump st 2;
+                let va = sa st f in
+                let vi = si st f in
+                Interp.flush_scalar st;
+                match (va, vi) with
+                | VDarray a, VIndex ix ->
+                    Interp.get_elem_array (Interp.ctx_of st) a ix
+                | _ ->
+                    Interp.builtin st ~apply:(rt_apply fc.prog st) x
+                      [ va; vi ])
+        | "array_put_elem", [| sa; si; sv |] when fc.prog.specialize ->
+            dyn (fun st f ->
+                bump st 2;
+                let va = sa st f in
+                let vi = si st f in
+                let v = sv st f in
+                Interp.flush_scalar st;
+                match (va, vi) with
+                | VDarray a, VIndex ix ->
+                    Interp.put_elem_array (Interp.ctx_of st) a ix v;
+                    VUnit
+                | _ ->
+                    Interp.builtin st ~apply:(rt_apply fc.prog st) x
+                      [ va; vi; v ])
+        | "array_part_bounds", [| sa |] when fc.prog.specialize ->
+            dyn (fun st f ->
+                bump st 2;
+                let va = sa st f in
+                Interp.flush_scalar st;
+                match va with
+                | VDarray a ->
+                    VBounds (Interp.part_bounds_array (Interp.ctx_of st) a)
+                | _ ->
+                    Interp.builtin st ~apply:(rt_apply fc.prog st) x [ va ])
+        | _ -> (
+            match (scalar_builtin_1 x, scalar_builtin_2 x, acs) with
+            | Some f1, _, [ ca ] -> (
+                match ca.ops with
+                | Some na -> known (2 + na) (fun st f -> f1 (ca.run st f))
+                | None ->
+                    let ra = seal ca in
+                    dyn (fun st f ->
+                        bump st 2;
+                        f1 (ra st f)))
+            | _, Some f2, [ ca; cb ] -> (
+                match (ca.ops, cb.ops) with
+                | Some na, Some nb ->
+                    known
+                      (2 + na + nb)
+                      (fun st f ->
+                        let va = ca.run st f in
+                        let vb = cb.run st f in
+                        f2 va vb)
+                | _ ->
+                    let ra = seal ca and rb = seal cb in
+                    dyn (fun st f ->
+                        bump st 2;
+                        let va = ra st f in
+                        let vb = rb st f in
+                        f2 va vb))
+            | _ -> (
+            match
+              if fc.prog.specialize then specialize_skeleton fc.prog h x
+              else None
+            with
+            | Some handle ->
+                (* same flush point as the generic dispatcher's array_*
+                   entry; the handler's own fallback re-flushing is a
+                   no-op *)
+                dyn (fun st f ->
+                    bump st 2;
+                    let argv = eval_sealed st f in
+                    Interp.flush_scalar st;
+                    handle st argv)
+            | None ->
+                dyn (fun st f ->
+                    bump st 2;
+                    Interp.builtin st ~apply:(rt_apply fc.prog st) x
+                      (eval_sealed st f)))))
   | `Opsec op ->
       if nargs = 2 then (
         let fop = op_fn op in
@@ -747,8 +1280,18 @@ let compile_func t scratch (f : Ast.func) =
   let fc = { prog = t; scratch; nslots = 0 } in
   let scope = List.mapi (fun i p -> (p.Ast.p_name, i)) f.Ast.f_params in
   fc.nslots <- List.length f.Ast.f_params;
-  let body = compile_block fc scope (Option.get f.Ast.f_body) in
+  let fbody = Option.get f.Ast.f_body in
+  let body = compile_block fc scope fbody in
   let size = fc.nslots in
+  cfn.c_size <- size;
+  cfn.c_ix_safe <- not (List.exists stmt_writes_index fbody);
+  let run st frame =
+    try
+      body st frame;
+      VUnit
+    with Interp.Return_exc v -> v
+  in
+  cfn.c_run <- run;
   cfn.c_invoke <-
     (fun st args ->
       let frame = Array.make size VUnit in
@@ -759,13 +1302,10 @@ let compile_func t scratch (f : Ast.func) =
             fill (i + 1) rest
       in
       fill 0 args;
-      try
-        body st frame;
-        VUnit
-      with Interp.Return_exc v -> v)
+      run st frame)
 
-let program ~tyenv (prog_ast : Ast.program) : t =
-  let t = { cfuncs = Hashtbl.create 32; tyenv } in
+let program ~tyenv ?(specialize = true) (prog_ast : Ast.program) : t =
+  let t = { cfuncs = Hashtbl.create 32; tyenv; specialize } in
   let scratch = Interp.make ~tyenv prog_ast in
   let funcs =
     List.filter_map
@@ -777,11 +1317,14 @@ let program ~tyenv (prog_ast : Ast.program) : t =
   (* placeholders first so recursive and forward calls resolve *)
   List.iter
     (fun f ->
+      let missing _ _ = rte "function %s not yet compiled" f.Ast.f_name in
       Hashtbl.replace t.cfuncs f.Ast.f_name
         {
           c_arity = List.length f.Ast.f_params;
-          c_invoke =
-            (fun _ _ -> rte "function %s not yet compiled" f.Ast.f_name);
+          c_size = 0;
+          c_ix_safe = false;
+          c_run = missing;
+          c_invoke = missing;
         })
     funcs;
   List.iter (compile_func t scratch) funcs;

@@ -140,6 +140,119 @@ let distr_of = function
   | 2 -> Darray.Torus2d
   | d -> rte "unknown distribution code %d" d
 
+(* ---------------- distributed-array payload dispatch ----------------
+
+   The AST engine only ever creates generic (boxed) payloads; the compiled
+   engine's specialised call sites create unboxed [DInt]/[DFloat] payloads
+   and run the hot element loops itself (Compile).  These dispatchers are
+   the single generic fallback shared by both engines: they accept every
+   payload kind, boxing elements on the way into the customizing function
+   and unboxing results on the way back, so observable behaviour and
+   charged costs are identical whatever the representation.  Mixed-kind
+   pairs can only arise between a specialised array and one created through
+   a curried fallback path; copies convert element-wise, the row/product
+   skeletons reject them (create both arrays through saturated calls). *)
+
+let box_i n = VInt n
+let box_f x = VFloat x
+
+let map_arrays ctx ~apply f src dst =
+  let wrap : 'a 'b. (Value.t -> 'b) -> ('a -> Value.t) -> 'a -> int array -> 'b
+      =
+   fun unbox box v ix -> unbox (apply f [ box v; VIndex (Array.copy ix) ])
+  in
+  match (src, dst) with
+  | DGen s, DGen d -> Skeletons.map ctx (wrap Value.copy Fun.id) s d
+  | DInt s, DInt d -> Skeletons.map ctx (wrap as_int box_i) s d
+  | DFloat s, DFloat d -> Skeletons.map ctx (wrap as_float box_f) s d
+  | DGen s, DInt d -> Skeletons.map_into ctx (wrap as_int Fun.id) s d
+  | DGen s, DFloat d -> Skeletons.map_into ctx (wrap as_float Fun.id) s d
+  | DInt s, DGen d -> Skeletons.map_into ctx (wrap Value.copy box_i) s d
+  | DInt s, DFloat d -> Skeletons.map_into ctx (wrap as_float box_i) s d
+  | DFloat s, DGen d -> Skeletons.map_into ctx (wrap Value.copy box_f) s d
+  | DFloat s, DInt d -> Skeletons.map_into ctx (wrap as_int box_f) s d
+
+let fold_array ctx ~apply conv f a =
+  let g x y = apply f [ x; y ] in
+  let wrap box v ix =
+    Value.copy (apply conv [ box v; VIndex (Array.copy ix) ])
+  in
+  (* conv may change the accumulator type (gauss.skil folds floats into
+     elemrec structs), so measure the wire size of the partial result
+     instead of trusting the array's element size *)
+  match a with
+  | DGen a ->
+      Skeletons.fold ctx ~acc_bytes_of:Value.wire_bytes ~conv:(wrap Fun.id) g a
+  | DInt a ->
+      Skeletons.fold ctx ~acc_bytes_of:Value.wire_bytes ~conv:(wrap box_i) g a
+  | DFloat a ->
+      Skeletons.fold ctx ~acc_bytes_of:Value.wire_bytes ~conv:(wrap box_f) g a
+
+let copy_arrays ctx src dst =
+  match (src, dst) with
+  | DGen s, DGen d -> Skeletons.copy ctx s d
+  | DInt s, DInt d -> Skeletons.copy ctx s d
+  | DFloat s, DFloat d -> Skeletons.copy ctx s d
+  | DGen s, DInt d -> Skeletons.copy_with ctx as_int s d
+  | DGen s, DFloat d -> Skeletons.copy_with ctx as_float s d
+  | DInt s, DGen d -> Skeletons.copy_with ctx box_i s d
+  | DFloat s, DGen d -> Skeletons.copy_with ctx box_f s d
+  | DInt _, DFloat _ | DFloat _, DInt _ ->
+      rte "array_copy: arrays have different element types"
+
+let destroy_array ctx = function
+  | DGen a -> Skeletons.destroy ctx a
+  | DInt a -> Skeletons.destroy ctx a
+  | DFloat a -> Skeletons.destroy ctx a
+
+let broadcast_array ctx a ix =
+  match a with
+  | DGen a -> Skeletons.broadcast_part ctx a ix
+  | DInt a -> Skeletons.broadcast_part ctx a ix
+  | DFloat a -> Skeletons.broadcast_part ctx a ix
+
+let permute_arrays ctx src p dst =
+  match (src, dst) with
+  | DGen s, DGen d -> Skeletons.permute_rows ctx s p d
+  | DInt s, DInt d -> Skeletons.permute_rows ctx s p d
+  | DFloat s, DFloat d -> Skeletons.permute_rows ctx s p d
+  | _ -> rte "array_permute_rows: arrays use different payload \
+              representations"
+
+let gen_mult_arrays ctx ~apply add mul a b c =
+  let fadd x y = apply add [ x; y ] in
+  let fmul x y = apply mul [ x; y ] in
+  match (a, b, c) with
+  | DGen a, DGen b, DGen c -> Skeletons.gen_mult ctx ~add:fadd ~mul:fmul a b c
+  | DInt a, DInt b, DInt c ->
+      Skeletons.gen_mult ctx
+        ~add:(fun x y -> as_int (fadd (VInt x) (VInt y)))
+        ~mul:(fun x y -> as_int (fmul (VInt x) (VInt y)))
+        a b c
+  | DFloat a, DFloat b, DFloat c ->
+      Skeletons.gen_mult ctx
+        ~add:(fun x y -> as_float (fadd (VFloat x) (VFloat y)))
+        ~mul:(fun x y -> as_float (fmul (VFloat x) (VFloat y)))
+        a b c
+  | _ -> rte "array_gen_mult: arrays use different payload representations"
+
+let part_bounds_array ctx = function
+  | DGen a -> Skeletons.part_bounds ctx a
+  | DInt a -> Skeletons.part_bounds ctx a
+  | DFloat a -> Skeletons.part_bounds ctx a
+
+let get_elem_array ctx a ix =
+  match a with
+  | DGen a -> Skeletons.get_elem ctx a ix
+  | DInt a -> VInt (Skeletons.get_elem ctx a ix)
+  | DFloat a -> VFloat (Skeletons.get_elem ctx a ix)
+
+let put_elem_array ctx a ix v =
+  match a with
+  | DGen a -> Skeletons.put_elem ctx a ix (Value.copy v)
+  | DInt a -> Skeletons.put_elem ctx a ix (as_int v)
+  | DFloat a -> Skeletons.put_elem ctx a ix (as_float v)
+
 let builtin st ~apply name args =
   (* sequential work done so far must hit the clock before any collective *)
   if String.length name > 6 && String.sub name 0 6 = "array_" then
@@ -175,43 +288,36 @@ let builtin st ~apply name args =
       if Array.length size <> dim then rte "array_create: bad Size";
       let f ix = Value.copy (apply init [ VIndex (Array.copy ix) ]) in
       VDarray
-        (Skeletons.create ctx ~gsize:(Array.copy size)
-           ~distr:(distr_of distr) f)
+        (DGen
+           (Skeletons.create ctx ~gsize:(Array.copy size)
+              ~distr:(distr_of distr) f))
   | "array_destroy", [ VDarray a ] ->
-      Skeletons.destroy (ctx_of st) a;
+      destroy_array (ctx_of st) a;
       VUnit
   | "array_map", [ f; VDarray src; VDarray dst ] ->
-      let g v ix = Value.copy (apply f [ v; VIndex (Array.copy ix) ]) in
-      Skeletons.map (ctx_of st) g src dst;
+      map_arrays (ctx_of st) ~apply f src dst;
       VUnit
   | "array_fold", [ conv; f; VDarray a ] ->
-      let c v ix = Value.copy (apply conv [ v; VIndex (Array.copy ix) ]) in
-      let g x y = apply f [ x; y ] in
-      (* conv_f may change the accumulator type (gauss.skil folds floats
-         into elemrec structs), so measure the wire size of the partial
-         result instead of trusting the array's element size *)
-      Skeletons.fold (ctx_of st) ~acc_bytes_of:Value.wire_bytes ~conv:c g a
+      fold_array (ctx_of st) ~apply conv f a
   | "array_copy", [ VDarray src; VDarray dst ] ->
-      Skeletons.copy (ctx_of st) src dst;
+      copy_arrays (ctx_of st) src dst;
       VUnit
   | "array_broadcast_part", [ VDarray a; VIndex ix ] ->
-      Skeletons.broadcast_part (ctx_of st) a ix;
+      broadcast_array (ctx_of st) a ix;
       VUnit
   | "array_permute_rows", [ VDarray src; perm; VDarray dst ] ->
       let p r = as_int (apply perm [ VInt r ]) in
-      Skeletons.permute_rows (ctx_of st) src p dst;
+      permute_arrays (ctx_of st) src p dst;
       VUnit
   | "array_gen_mult", [ VDarray a; VDarray b; add; mul; VDarray c ] ->
-      let fadd x y = apply add [ x; y ] in
-      let fmul x y = apply mul [ x; y ] in
-      Skeletons.gen_mult (ctx_of st) ~add:fadd ~mul:fmul a b c;
+      gen_mult_arrays (ctx_of st) ~apply add mul a b c;
       VUnit
   | "array_part_bounds", [ VDarray a ] ->
-      VBounds (Skeletons.part_bounds (ctx_of st) a)
+      VBounds (part_bounds_array (ctx_of st) a)
   | "array_get_elem", [ VDarray a; VIndex ix ] ->
-      Skeletons.get_elem (ctx_of st) a ix
+      get_elem_array (ctx_of st) a ix
   | "array_put_elem", [ VDarray a; VIndex ix; v ] ->
-      Skeletons.put_elem (ctx_of st) a ix (Value.copy v);
+      put_elem_array (ctx_of st) a ix v;
       VUnit
   | _ ->
       rte "builtin %s: bad arguments (%s)" name

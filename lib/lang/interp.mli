@@ -64,6 +64,23 @@ val flush_scalar : state -> unit
 (** Charge [pending_ops] expression nodes as Scalar work on the simulated
     machine (no-op cost-wise under [`Seq]) and reset the counter. *)
 
+val ctx_of : state -> Machine.ctx
+(** The simulated machine context of a [`Par] state.
+    @raise Value.Skil_runtime_error under [`Seq]. *)
+
+val distr_of : int -> Darray.distr
+(** Decode a [DISTR_*] constant into a distribution scheme. *)
+
+(** Payload-kind dispatchers over {!Value.darray}: one generic fallback
+    shared by both engines for local array access (the compiled engine's
+    specialised call sites use them to skip the string-keyed [builtin]
+    dispatch).  Boxing/unboxing at the boundary keeps behaviour identical
+    whatever the payload representation. *)
+
+val get_elem_array : Machine.ctx -> Value.darray -> Index.t -> Value.t
+val put_elem_array : Machine.ctx -> Value.darray -> Index.t -> Value.t -> unit
+val part_bounds_array : Machine.ctx -> Value.darray -> Index.bounds
+
 val builtin :
   state ->
   apply:(Value.t -> Value.t list -> Value.t) ->

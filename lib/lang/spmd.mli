@@ -19,6 +19,7 @@ val run :
   ?trace:bool ->
   ?instantiate:bool ->
   ?engine:engine ->
+  ?specialize:bool ->
   topology:Topology.t ->
   Ast.program ->
   entry:string ->
@@ -28,14 +29,19 @@ val run :
     first via {!run_source} or explicitly).  When [instantiate] is true
     (default), the program is first translated by instantiation, exactly as
     the Skil compiler would, and the first-order result is executed.
-    [trace] records structured events for {!Profile} (default false).
-    [printed] collects the calling processor's print_* output. *)
+    [specialize] (default true, [`Compiled] only) stores int/double array
+    payloads unboxed and runs monomorphic argument functions as unboxed
+    closures — results are bit-identical either way (see
+    {!Compile.program}).  [trace] records structured events for {!Profile}
+    (default false).  [printed] collects the calling processor's print_*
+    output. *)
 
 val run_source :
   ?cost:Cost_model.t ->
   ?trace:bool ->
   ?instantiate:bool ->
   ?engine:engine ->
+  ?specialize:bool ->
   topology:Topology.t ->
   string ->
   entry:string ->

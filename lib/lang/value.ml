@@ -14,7 +14,20 @@ type t =
   | VPtr of t ref
   | VStruct of vstruct
   | VFun of vfun
-  | VDarray of t Darray.t
+  | VDarray of darray
+
+(* Distributed-array payloads.  After typecheck + instantiation the element
+   type of every frontend pardata is statically known, so the compiled
+   engine's specialised call sites store int/double elements unboxed in
+   flat [int array]/[float array] partitions — the paper's "translation by
+   instantiation" carried into the data plane.  [DGen] keeps boxed [t]
+   elements: it is the representation for struct/pointer payloads, for
+   arrays created through curried fallback paths, and for everything the
+   reference interpreter creates. *)
+and darray =
+  | DGen of t Darray.t
+  | DInt of int Darray.t
+  | DFloat of float Darray.t
 
 (* Fields live at fixed positions (declaration order of the struct_def);
    [s_names] is shared between all values of the same struct type, so the

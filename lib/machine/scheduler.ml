@@ -39,6 +39,15 @@ let spawn t f =
 
 let block _t = Effect.perform Block_current
 
+(* Invariant: every [Ready] fiber is already in the runnable queue —
+   [spawn] is the only transition into [Ready] and it enqueues atomically
+   with the state change.  So waking a [Ready] fiber must NOT enqueue it
+   again: a duplicate entry would run the fiber's body twice ([run] would
+   find it [Ready] both times before the first dispatch flips it to
+   [Running]).  [Running] needs no entry (it is executing right now) and a
+   wake that races with termination finds [Finished] and is dropped; only
+   [Suspended] fibers are resumable.  Pinned by the "wake" cases in
+   [test/test_machine.ml]. *)
 let wake t id =
   match t.fibers.(id) with
   | Suspended _ -> Queue.add id t.runnable

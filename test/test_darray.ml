@@ -90,6 +90,85 @@ let test_row_cyclic () =
   in
   Alcotest.(check (array int)) "row 3" [| 30; 31 |] (Darray.row a 3)
 
+(* to_flat/row are blit-based (one Array.blit per contiguous run); pin
+   their output to the element-at-a-time reference the old implementation
+   used, across every scheme and some non-dividing / column-split /
+   higher-dimensional layouts *)
+let peek_flat a =
+  let n = Index.volume (Darray.gsize a) in
+  if n = 0 then [||]
+  else begin
+    let gsize = Darray.gsize a in
+    let b =
+      { Index.lower = Array.make (Darray.dim a) 0; upper = Array.copy gsize }
+    in
+    let out = Array.make n 0 in
+    let pos = ref 0 in
+    Index.iter b (fun ix ->
+        out.(!pos) <- Darray.peek a ix;
+        incr pos);
+    out
+  end
+
+let test_to_flat_matches_reference () =
+  let layouts =
+    [
+      (Distribution.Block, [| 6; 4 |], [| 3; 1 |]);
+      (Distribution.Block, [| 7; 5 |], [| 2; 2 |]);
+      (* column split: a global row spans several partitions *)
+      (Distribution.Block, [| 4; 9 |], [| 1; 4 |]);
+      (Distribution.Block, [| 8 |], [| 3 |]);
+      (Distribution.Block, [| 3; 4; 5 |], [| 2; 1; 2 |]);
+      (Distribution.Cyclic, [| 9; 3 |], [| 4; 1 |]);
+      (Distribution.Block_cyclic 2, [| 11; 3 |], [| 3; 1 |]);
+    ]
+  in
+  List.iter
+    (fun (scheme, gsize, pgrid) ->
+      let seq = ref 0 in
+      let a =
+        mk ~scheme gsize pgrid (fun _ ->
+            incr seq;
+            !seq * 7)
+      in
+      Alcotest.(check (array int))
+        (Printf.sprintf "flat %s" (String.concat "x"
+           (Array.to_list (Array.map string_of_int gsize))))
+        (peek_flat a) (Darray.to_flat a))
+    layouts
+
+let test_row_matches_reference () =
+  let layouts =
+    [
+      (Distribution.Block, [| 6; 4 |], [| 3; 1 |]);
+      (Distribution.Block, [| 4; 9 |], [| 1; 4 |]);
+      (Distribution.Block, [| 7; 5 |], [| 2; 2 |]);
+      (Distribution.Cyclic, [| 9; 3 |], [| 4; 1 |]);
+      (Distribution.Block_cyclic 2, [| 11; 3 |], [| 3; 1 |]);
+    ]
+  in
+  List.iter
+    (fun (scheme, gsize, pgrid) ->
+      let a = mk ~scheme gsize pgrid (fun ix -> (100 * ix.(0)) + ix.(1)) in
+      for r = 0 to gsize.(0) - 1 do
+        Alcotest.(check (array int))
+          (Printf.sprintf "row %d" r)
+          (Array.init gsize.(1) (fun c -> Darray.peek a [| r; c |]))
+          (Darray.row a r)
+      done)
+    layouts
+
+let test_row_out_of_range () =
+  let a = mk [| 4; 3 |] [| 2; 1 |] (fun _ -> 0) in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "raises" true
+        (try
+           ignore (Darray.row a r);
+           false
+         with Invalid_argument _ -> true))
+    [ -1; 4 ]
+
 let test_owner_matches_distribution () =
   let a = mk [| 9; 9 |] [| 3; 3 |] (fun _ -> 0) in
   let b =
@@ -116,6 +195,11 @@ let suite =
         Alcotest.test_case "to_flat torus" `Quick test_to_flat_torus_layout;
         Alcotest.test_case "row" `Quick test_row;
         Alcotest.test_case "row cyclic" `Quick test_row_cyclic;
+        Alcotest.test_case "to_flat matches reference" `Quick
+          test_to_flat_matches_reference;
+        Alcotest.test_case "row matches reference" `Quick
+          test_row_matches_reference;
+        Alcotest.test_case "row out of range" `Quick test_row_out_of_range;
         Alcotest.test_case "owner" `Quick test_owner_matches_distribution;
       ] );
   ]

@@ -77,12 +77,18 @@ let check_identical name ra rc =
     (Profile.chrome_json ra.Machine.trace ~nprocs)
     (Profile.chrome_json rc.Machine.trace ~nprocs)
 
+(* three-way: the reference interpreter, the compiled engine with payload
+   specialisation (the default), and the compiled engine with every array
+   element kept boxed (--no-specialize) must all agree bit-for-bit *)
 let run_both ?cost ?(instantiate = true) ~topology src ~entry ~args name =
-  let go engine =
-    Spmd.run_source ?cost ~instantiate ~engine ~trace:true ~topology src
-      ~entry ~args
+  let go ?(specialize = true) engine =
+    Spmd.run_source ?cost ~instantiate ~engine ~specialize ~trace:true
+      ~topology src ~entry ~args
   in
-  check_identical name (go `Ast) (go `Compiled)
+  let ra = go `Ast in
+  check_identical name ra (go `Compiled);
+  check_identical (name ^ " (no-specialize)") ra
+    (go ~specialize:false `Compiled)
 
 let test_corpus_equivalence () =
   List.iter
