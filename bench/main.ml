@@ -7,7 +7,7 @@
                    [--check FILE] [--threshold X]
                    [--trace-out FILE] [--profile]
                    [table1|table2|figure1|claim51|claim52|ablations|
-                    scaling|bechamel|all]...
+                    scaling|degradation|bechamel|all]...
 
    [--check FILE] turns the bechamel run into a regression guard: every
    cell present in the baseline JSON (a previous --json dump, e.g.
@@ -58,6 +58,23 @@ let bechamel_tests () =
           Skeletons.destroy ctx (Gauss.run ctx ~n ~matrix))
     in
     d /. s
+  in
+  let degraded_cell () =
+    (* one reliable-transport run under 20% message loss: the wall-clock
+       cost of the fault-injection + retransmission machinery *)
+    let n = 32 in
+    let matrix = Workload.gauss_matrix ~seed ~n in
+    let faults =
+      {
+        (Fault.none ~seed:1) with
+        Fault.link = { Fault.no_link_faults with Fault.drop = 0.2 };
+      }
+    in
+    (Machine.run ~faults ~reliable:true
+       ~cost:(Cost_model.make Cost_model.skil)
+       ~topology:mesh2
+       (fun ctx -> Skeletons.destroy ctx (Gauss.run ctx ~n ~matrix)))
+      .Machine.time
   in
   let matmul_cell () =
     let n = 32 in
@@ -110,6 +127,8 @@ let bechamel_tests () =
       (Staged.stage (fun () -> ignore (matmul_cell ())));
     Test.make ~name:"claim52_cell(gauss-pivoting)"
       (Staged.stage (fun () -> ignore (gauss_cell Gauss.Partial ())));
+    Test.make ~name:"degradation_cell(gauss-2x2-drop0.2)"
+      (Staged.stage (fun () -> ignore (degraded_cell ())));
     Test.make ~name:"skil_frontend(gauss-n16-ast)"
       (Staged.stage (fun () -> ignore (gauss_skil `Ast ())));
     Test.make ~name:"skil_frontend(gauss-n16-compiled)"
@@ -326,6 +345,7 @@ let () =
   if wants "claim52" then Report.print_claim52 ~jobs ~quick ();
   if wants "ablations" then Report.print_ablations ~jobs ~quick ();
   if wants "scaling" then Report.print_scaling ~jobs ~quick ();
+  if wants "degradation" then Report.print_degradation ~jobs ~quick ();
   (match csv_dir with
    | Some dir -> Report.write_csvs ~dir (table1 ()) (table2 ())
    | None -> ());

@@ -33,6 +33,9 @@ let handle_errors f =
   | Value.Skil_runtime_error m ->
       Printf.eprintf "runtime error: %s\n" m;
       exit 1
+  | Machine.Stalled blocked ->
+      Printf.eprintf "%s\n" (Machine.stall_diagnostic blocked);
+      exit 1
   | Sys_error m ->
       Printf.eprintf "%s\n" m;
       exit 1
@@ -169,7 +172,7 @@ let engine_conv =
 
 let run_par_cmd =
   let run file entry args width height torus profile no_instantiate engine
-      no_specialize trace_out want_profile =
+      no_specialize trace_out want_profile faults_spec fault_seed reliable =
     handle_errors (fun () ->
         let program, _ = load file in
         let topology =
@@ -178,9 +181,24 @@ let run_par_cmd =
         in
         let nprocs = Topology.nprocs topology in
         let trace = trace_out <> None || want_profile in
+        let faults =
+          match faults_spec with
+          | None -> None
+          | Some spec -> (
+              match Fault.parse ~seed:fault_seed spec with
+              | Ok plan -> Some plan
+              | Error msg ->
+                  Printf.eprintf "--faults: %s\n" msg;
+                  exit 2)
+        in
+        (match faults with
+         | Some plan ->
+             Printf.printf "fault plan: %s%s\n" (Fault.describe plan)
+               (if reliable then " (reliable transport)" else "")
+         | None -> ());
         let r =
           Spmd.run ~instantiate:(not no_instantiate) ~engine
-            ~specialize:(not no_specialize) ~trace
+            ~specialize:(not no_specialize) ~trace ?faults ~reliable
             ~cost:(Cost_model.make profile) ~topology program ~entry
             ~args:(List.map (fun n -> Value.VInt n) args)
         in
@@ -262,12 +280,39 @@ let run_par_cmd =
                    per-processor metrics, the communication matrix and a \
                    critical-path estimate.")
   in
+  let faults_spec =
+    Arg.(value
+         & opt (some string) None
+         & info [ "faults" ] ~docv:"SPEC"
+             ~doc:"Inject deterministic faults from $(docv): comma-separated \
+                   key=value fields, e.g. \
+                   $(b,drop=0.1,dup=0.05,corrupt=0.02,delay=0.1x8,\
+                   stall=2\\@0.01+0.005,crash=1\\@0.02,reboot=0.004,ckpt=on). \
+                   Replayable: the same spec and seed reproduce the run \
+                   bit-for-bit.")
+  in
+  let fault_seed =
+    Arg.(value & opt int 1
+         & info [ "fault-seed" ] ~docv:"N"
+             ~doc:"Seed for the fault plan's splittable PRNG (overridden by \
+                   a seed= field in $(b,--faults)).")
+  in
+  let reliable =
+    Arg.(value & flag
+         & info [ "reliable" ]
+             ~doc:"Run the machine's Reliable transport: sequence numbers, \
+                   receiver-side dedup and ack/timeout/retransmit with \
+                   capped exponential backoff, charged in simulated time. \
+                   Under it, every deterministic-order program returns its \
+                   fault-free values regardless of $(b,--faults) drop \
+                   rates.")
+  in
   Cmd.v
     (Cmd.info "run-par"
        ~doc:"Execute a Skil program on the simulated Parsytec machine.")
     Term.(const run $ file_arg $ entry_arg $ args_arg $ width $ height
           $ torus $ profile $ no_instantiate $ engine $ no_specialize
-          $ trace_out $ want_profile)
+          $ trace_out $ want_profile $ faults_spec $ fault_seed $ reliable)
 
 let () =
   let doc = "the Skil compiler (HPDC '96 reproduction)" in

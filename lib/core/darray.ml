@@ -13,6 +13,7 @@ type 'a t = {
   parts : 'a part array;
   elem_bytes : int;
   mutable destroyed : bool;
+  mutable checkpoint : bool;
 }
 
 (* Atomic so arrays can be created from several domains at once (the
@@ -49,8 +50,10 @@ let make ~gsize ~dist ~distr ~elem_bytes init =
     parts;
     elem_bytes;
     destroyed = false;
+    checkpoint = false;
   }
 
+let set_checkpoint a flag = a.checkpoint <- flag
 let dim a = a.dim
 let gsize a = a.gsize
 let nprocs a = Array.length a.parts

@@ -28,6 +28,10 @@ type 'a t = private {
   parts : 'a part array;
   elem_bytes : int;
   mutable destroyed : bool;
+  mutable checkpoint : bool;
+      (** skeletons snapshot partitions of this array before their local
+          phases so a fail-stop crash can restore and re-execute
+          ({!Skeletons.create}'s checkpoint policy; default [false]) *)
 }
 
 val make :
@@ -43,6 +47,10 @@ val make :
 
     The index array passed to the initializer is a scratch buffer reused
     between calls: copy it if you retain it beyond the call. *)
+
+val set_checkpoint : 'a t -> bool -> unit
+(** Set the checkpoint policy flag (the record is private, so the field
+    cannot be mutated directly by clients). *)
 
 val dim : 'a t -> int
 val gsize : 'a t -> Index.size

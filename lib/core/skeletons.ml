@@ -10,6 +10,31 @@ let rank ctx = Machine.self ctx
    attributed to the span, and nested collectives appear as child spans. *)
 let with_span ctx name f = Machine.with_span ctx ~cat:Trace.Skeleton name f
 
+(* Run a local, communication-free phase that mutates [pd] under fail-stop
+   crash protection when the array's checkpoint policy asks for it: the
+   partition is snapshotted on entry and restored (and the phase re-executed)
+   if the fault plan crashes this processor inside the phase.  Costs nothing
+   — not even the snapshot — unless a crash is actually pending
+   ({!Machine.protect}). *)
+let protect_part ctx (arr : 'a Darray.t) (pd : 'a Darray.part) f =
+  if arr.Darray.checkpoint then
+    Machine.protect ctx
+      ~bytes:(Array.length pd.Darray.data * Darray.elem_bytes arr)
+      ~snapshot:(fun () -> Array.copy pd.Darray.data)
+      ~restore:(fun s -> Array.blit s 0 pd.Darray.data 0 (Array.length s))
+      f
+  else f ()
+
+(* Same protection for a pure (read-only) local phase: nothing to snapshot,
+   a crash just re-executes the phase after the reboot penalty. *)
+let protect_pure ctx (arr : 'a Darray.t) f =
+  if arr.Darray.checkpoint then
+    Machine.protect ctx ~bytes:0
+      ~snapshot:(fun () -> ())
+      ~restore:(fun () -> ())
+      f
+  else f ()
+
 (* ------------------------------------------------------------------ *)
 (* Creation / destruction                                              *)
 
@@ -26,10 +51,15 @@ let pgrid_for ctx ~gsize ~(distr : Darray.distr) =
       invalid_arg "Skeletons.create: only 1-D and 2-D arrays are supported"
 
 let create ctx ?(elem_bytes = Calibration.elem_bytes)
-    ?(scheme = Distribution.Block) ?(cost = default_elem_cost) ~gsize ~distr
-    init =
+    ?(scheme = Distribution.Block) ?(cost = default_elem_cost) ?checkpoint
+    ~gsize ~distr init =
   with_span ctx "array_create" @@ fun () ->
   skeleton ctx;
+  let checkpoint =
+    match checkpoint with
+    | Some c -> c
+    | None -> Machine.checkpoint_default ctx
+  in
   (match (scheme, distr) with
    | (Distribution.Cyclic | Distribution.Block_cyclic _), Darray.Torus2d ->
        invalid_arg "Skeletons.create: cyclic schemes use row distribution"
@@ -38,7 +68,9 @@ let create ctx ?(elem_bytes = Calibration.elem_bytes)
     Machine.collective ctx (fun () ->
         let pgrid = pgrid_for ctx ~gsize ~distr in
         let dist = Distribution.create ~gsize ~pgrid scheme in
-        Darray.make ~gsize ~dist ~distr ~elem_bytes init)
+        let a = Darray.make ~gsize ~dist ~distr ~elem_bytes init in
+        Darray.set_checkpoint a checkpoint;
+        a)
   in
   Machine.charge ctx Cost_model.Mapped
     ~ops:(Darray.local_count a ~rank:(rank ctx))
@@ -79,6 +111,7 @@ let map_general ctx ~cost f (src : 'a Darray.t) (dst : 'b Darray.t) =
   skeleton ctx;
   let me = rank ctx in
   let ps = Darray.part src ~rank:me and pd = Darray.part dst ~rank:me in
+  protect_part ctx dst pd @@ fun () ->
   let pos = ref 0 in
   Distribution.region_iter ps.Darray.region (fun ix ->
       pd.Darray.data.(!pos) <- f ps.Darray.data.(!pos) ix;
@@ -106,12 +139,16 @@ let fold ctx ?(cost = default_elem_cost) ?acc_bytes ?acc_bytes_of ~conv f
   let me = rank ctx in
   let p = Darray.part a ~rank:me in
   let acc = ref None in
-  let pos = ref 0 in
-  Distribution.region_iter p.Darray.region (fun ix ->
-      let v = conv p.Darray.data.(!pos) ix in
-      incr pos;
-      acc := Some (match !acc with None -> v | Some w -> f w v));
-  Machine.charge ctx Cost_model.Mapped ~ops:!pos ~base:cost;
+  (* local reduction phase: pure reads, so crash protection needs no
+     snapshot — a crashed rank just recomputes its partial result *)
+  protect_pure ctx a (fun () ->
+      acc := None;
+      let pos = ref 0 in
+      Distribution.region_iter p.Darray.region (fun ix ->
+          let v = conv p.Darray.data.(!pos) ix in
+          incr pos;
+          acc := Some (match !acc with None -> v | Some w -> f w v));
+      Machine.charge ctx Cost_model.Mapped ~ops:!pos ~base:cost);
   (* Wire size of the partial result sent up the reduction tree.  When
      [conv] changes the accumulator type (Gauss's pivot search folds floats
      into elemrec structs), the element size of [a] is wrong — pass
@@ -321,7 +358,11 @@ let gen_mult ctx ?(cost = default_elem_cost) ~add ~mul (a : 'a Darray.t)
   bblock :=
     exchange tag_b ~dest:(at_rc (bi - bj + q) bj) ~src:(at_rc (bi + bj) bj)
       !bblock;
+  let cpart = Darray.part c ~rank:me in
   let multiply () =
+    (* each block multiplication is one crash-protected region: the rotating
+       a/b blocks are fixed within it, and only [cdata] is mutated *)
+    protect_part ctx c cpart @@ fun () ->
     let ad = !ablock and bd = !bblock in
     for i = 0 to bs - 1 do
       for k = 0 to bs - 1 do

@@ -23,6 +23,7 @@ val create :
   ?elem_bytes:int ->
   ?scheme:Distribution.scheme ->
   ?cost:float ->
+  ?checkpoint:bool ->
   gsize:Index.size ->
   distr:Darray.distr ->
   (Index.t -> 'a) ->
@@ -31,7 +32,15 @@ val create :
     machine topology and [distr], corresponding to the paper's "default"
     values (0 block sizes, -1 lower bounds): [Torus2d] distributes blocks
     over the processor grid, [Default] and [Ring] distribute rows.
-    [?scheme] selects the future-work cyclic layouts (Default/Ring only). *)
+    [?scheme] selects the future-work cyclic layouts (Default/Ring only).
+
+    [?checkpoint] (default: {!Machine.checkpoint_default}, i.e. the fault
+    plan's policy, [false] without one) makes the mutating skeletons
+    ([map]/[map_into], [gen_mult]) snapshot this array's partitions before
+    their local phases — and [fold] re-execute its pure local reduction —
+    so a scheduled fail-stop crash restores the snapshot, charges the
+    reboot penalty, and re-executes the lost work instead of corrupting
+    the run ({!Machine.protect}). *)
 
 val destroy : ctx -> 'a Darray.t -> unit
 (** [array_destroy].  Collective; the array is unusable afterwards. *)

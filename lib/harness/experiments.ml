@@ -356,6 +356,82 @@ let scaling ?(quick = false) ?(jobs = 1) () =
     qs
 
 (* ------------------------------------------------------------------ *)
+(* Fault-injection degradation: reliable transport under message loss  *)
+
+type degradation_row = {
+  dg_app : string;
+  dg_drop : float;
+  dg_time : float;
+  dg_overhead : float;
+  dg_dropped : int;
+  dg_retried : int;
+}
+
+let drop_rates = [ 0.0; 0.05; 0.1; 0.2 ]
+
+let degradation ?(quick = false) ?(jobs = 1) () =
+  let gauss_n = if quick then 32 else 64 in
+  let sp_n = if quick then 16 else 48 in
+  let sp_weight = Workload.graph_weight ~seed ~n:sp_n ~max_weight:100 in
+  let mesh = Topology.mesh ~width:2 ~height:2 in
+  let torus = Topology.torus2d ~width:2 ~height:2 () in
+  let apps =
+    [
+      ( "gauss 2x2",
+        mesh,
+        fun ctx -> gauss_run ctx ~n:gauss_n );
+      ( "shpaths 2x2",
+        torus,
+        fun ctx ->
+          Skeletons.destroy ctx (Shortest_paths.run ctx ~n:sp_n ~weight:sp_weight)
+      );
+    ]
+  in
+  let cell topo f rate () =
+    let faults =
+      if rate = 0.0 then None
+      else
+        Some
+          {
+            (Fault.none ~seed:1) with
+            Fault.link = { Fault.no_link_faults with Fault.drop = rate };
+          }
+    in
+    let r =
+      Machine.run ?faults ~reliable:(rate > 0.0)
+        ~cost:(Cost_model.make Cost_model.skil)
+        ~topology:topo f
+    in
+    ( r.Machine.time,
+      Stats.total_dropped r.Machine.stats,
+      Stats.total_retried r.Machine.stats )
+  in
+  let thunks =
+    List.concat_map
+      (fun (_, topo, f) -> List.map (cell topo f) drop_rates)
+      apps
+  in
+  let res = run_cells ~jobs thunks in
+  let nrates = List.length drop_rates in
+  List.concat
+    (List.mapi
+       (fun ai (name, _, _) ->
+         let base, _, _ = res.(ai * nrates) in
+         List.mapi
+           (fun ri rate ->
+             let t, dropped, retried = res.((ai * nrates) + ri) in
+             {
+               dg_app = name;
+               dg_drop = rate;
+               dg_time = t;
+               dg_overhead = (t /. base) -. 1.0;
+               dg_dropped = dropped;
+               dg_retried = retried;
+             })
+           drop_rates)
+       apps)
+
+(* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
 
 type ablation = {

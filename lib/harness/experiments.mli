@@ -83,6 +83,25 @@ val scaling : ?quick:bool -> ?jobs:int -> unit -> scaling_row list
 (** Fixed-size shortest paths across growing square tori — the classic
     strong-scaling view the paper's tables imply but never plot. *)
 
+(** {1 Fault injection & degradation (ours)} *)
+
+type degradation_row = {
+  dg_app : string;  (** "gauss 2x2" / "shpaths 2x2" *)
+  dg_drop : float;  (** injected per-copy message-loss probability *)
+  dg_time : float;  (** simulated makespan under the reliable transport *)
+  dg_overhead : float;  (** [dg_time / fault-free time - 1] *)
+  dg_dropped : int;  (** message copies lost by the injected network *)
+  dg_retried : int;  (** retransmissions charged by the reliable transport *)
+}
+
+val degradation : ?quick:bool -> ?jobs:int -> unit -> degradation_row list
+(** Graceful degradation under message loss: the corpus workloads (Gauss on
+    a mesh, shortest paths on a torus) run under the {!Machine.run}
+    [Reliable] transport at drop rates 0 / 0.05 / 0.1 / 0.2.  The 0-rate
+    cell is the plain fault-free run (no plan installed), so the overhead
+    column reads straight off it.  Values returned by every cell are the
+    fault-free values — only the simulated clock degrades. *)
+
 (** {1 Ablations of the design choices} *)
 
 type ablation = {

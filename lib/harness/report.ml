@@ -198,6 +198,33 @@ let print_ablations ?(jobs = 1) ~quick () =
   print_newline ()
 
 
+let print_degradation ?(jobs = 1) ~quick () =
+  print_endline
+    "== Degradation under message loss (ours): reliable transport ==";
+  print_endline
+    "   (values are the fault-free values at every drop rate; only the\n\
+    \    simulated clock degrades)";
+  let rows = Experiments.degradation ~quick ~jobs () in
+  let body =
+    List.map
+      (fun r ->
+        [
+          r.Experiments.dg_app;
+          Printf.sprintf "%.2f" r.Experiments.dg_drop;
+          fmt r.Experiments.dg_time;
+          Printf.sprintf "+%.1f%%" (100.0 *. r.Experiments.dg_overhead);
+          string_of_int r.Experiments.dg_dropped;
+          string_of_int r.Experiments.dg_retried;
+        ])
+      rows
+  in
+  print_string
+    (Table.render
+       ~aligns:[ Table.Left ]
+       ~headers:[ "app"; "drop"; "time(s)"; "overhead"; "dropped"; "retried" ]
+       body);
+  print_newline ()
+
 let print_scaling ?(jobs = 1) ~quick () =
   print_endline "== Strong scaling (ours): shortest paths, fixed n ==";
   let rows = Experiments.scaling ~quick ~jobs () in

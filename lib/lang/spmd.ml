@@ -1,8 +1,8 @@
 type outcome = { value : Value.t; printed : string }
 type engine = [ `Ast | `Compiled ]
 
-let run ?cost ?trace ?(instantiate = true) ?(engine = `Compiled)
-    ?(specialize = true) ~topology program ~entry ~args =
+let run ?cost ?trace ?faults ?reliable ?(instantiate = true)
+    ?(engine = `Compiled) ?(specialize = true) ~topology program ~entry ~args =
   let tyenv = Typecheck.check program in
   let program, tyenv =
     if instantiate then begin
@@ -13,7 +13,7 @@ let run ?cost ?trace ?(instantiate = true) ?(engine = `Compiled)
   in
   match engine with
   | `Ast ->
-      Machine.run ?cost ?trace ~topology (fun ctx ->
+      Machine.run ?cost ?trace ?faults ?reliable ~topology (fun ctx ->
           let st = Interp.make ~backend:(`Par ctx) ~tyenv program in
           let value = Interp.call st entry args in
           { value; printed = Interp.output st })
@@ -21,12 +21,12 @@ let run ?cost ?trace ?(instantiate = true) ?(engine = `Compiled)
       (* translate once; the closure code is shared by all processors,
          per-processor state is handed in at call time *)
       let compiled = Compile.program ~tyenv ~specialize program in
-      Machine.run ?cost ?trace ~topology (fun ctx ->
+      Machine.run ?cost ?trace ?faults ?reliable ~topology (fun ctx ->
           let st = Interp.make ~backend:(`Par ctx) ~tyenv program in
           let value = Compile.call compiled st entry args in
           { value; printed = Interp.output st })
 
-let run_source ?cost ?trace ?instantiate ?engine ?specialize ~topology
-    source ~entry ~args =
-  run ?cost ?trace ?instantiate ?engine ?specialize ~topology
-    (Parser.parse source) ~entry ~args
+let run_source ?cost ?trace ?faults ?reliable ?instantiate ?engine ?specialize
+    ~topology source ~entry ~args =
+  run ?cost ?trace ?faults ?reliable ?instantiate ?engine ?specialize
+    ~topology (Parser.parse source) ~entry ~args

@@ -17,6 +17,8 @@ type engine = [ `Ast | `Compiled ]
 val run :
   ?cost:Cost_model.t ->
   ?trace:bool ->
+  ?faults:Fault.plan ->
+  ?reliable:bool ->
   ?instantiate:bool ->
   ?engine:engine ->
   ?specialize:bool ->
@@ -34,11 +36,20 @@ val run :
     closures — results are bit-identical either way (see
     {!Compile.program}).  [trace] records structured events for {!Profile}
     (default false).  [printed] collects the calling processor's print_*
-    output. *)
+    output.
+
+    [faults] / [reliable] are handed straight to {!Machine.run}: a
+    deterministic fault plan injected under the skeleton runtime, and the
+    reliable transport that lets every deterministic-order program (the
+    whole [examples/skil] corpus) return its fault-free values under
+    message loss.  Without them, behaviour is bit-identical to a build
+    without fault injection. *)
 
 val run_source :
   ?cost:Cost_model.t ->
   ?trace:bool ->
+  ?faults:Fault.plan ->
+  ?reliable:bool ->
   ?instantiate:bool ->
   ?engine:engine ->
   ?specialize:bool ->

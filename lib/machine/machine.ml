@@ -1,7 +1,11 @@
+type delivery = Clean | Corrupted | Duplicate
+
 type message = {
   arrival : float;
   payload : Obj.t;
   tmsg : Trace.message option; (* trace record, completed on delivery *)
+  seq : int; (* per-(src,dst) sequence number; 0 on the fault-free path *)
+  delivery : delivery;
 }
 
 type waiting = Exact of int * int | Any_source of int
@@ -24,6 +28,12 @@ type proc = {
   mutable coll_count : int; (* collective call sites reached so far *)
   mutable span_stack : Trace.span list; (* open trace spans, innermost first *)
   stats : Stats.proc;
+  (* fault state — allocated/nonempty only when a plan or reliable mode is
+     active, untouched on the fault-free path *)
+  next_seq : int array; (* per-destination sequence counters; [||] when off *)
+  seen : (int * int, unit) Hashtbl.t; (* (src, seq) dedup under Reliable *)
+  mutable pending_stalls : Fault.stall list; (* sorted by stall_at *)
+  mutable pending_crashes : float list; (* sorted crash times *)
 }
 
 type t = {
@@ -47,6 +57,12 @@ type t = {
   c_scalar_factor : float;
       (* the profile's Scalar factor, hoisted out of the per-statement
          flush path of the language engines *)
+  (* fault-injection state, all gated behind the cached booleans below so the
+     fault-free hot path pays one dead branch per send/recv/compute *)
+  fplan : Fault.plan; (* Fault.none when no plan was given *)
+  faults_on : bool; (* a plan was given *)
+  reliable : bool; (* Reliable transport mode *)
+  rto_fixed : float; (* retransmission timeout, bytes-independent part *)
 }
 
 type ctx = { m : t; p : proc }
@@ -58,15 +74,51 @@ type 'r result = {
   trace : Trace.t;
 }
 
+exception Stalled of (int * string) list
+
+let stall_diagnostic blocked =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    "machine stalled: no processor is runnable, but these are blocked:\n";
+  List.iter
+    (fun (id, d) -> Buffer.add_string b (Printf.sprintf "  p%-3d %s\n" id d))
+    blocked;
+  Buffer.add_string b
+    "(a dropped message under --faults without --reliable, or a genuine \
+     program deadlock)";
+  Buffer.contents b
+
 let self ctx = ctx.p.id
 let nprocs ctx = Array.length ctx.m.procs
 let topology ctx = ctx.m.topology
 let cost ctx = ctx.m.cost
 let profile ctx = ctx.m.cost.Cost_model.profile
 let clock ctx = ctx.p.clock
+let checkpoint_default ctx = ctx.m.faults_on && ctx.m.fplan.Fault.checkpoint
+
+(* An injected transient stall freezes the processor at its first
+   clock-advancing action at or after the scheduled time.  Checked (behind
+   [faults_on]) at the top of [compute] and [overhead]; receive waits are
+   already idle time, so stalling there would be unobservable. *)
+let rec apply_stalls ctx =
+  match ctx.p.pending_stalls with
+  | s :: rest when s.Fault.stall_at <= ctx.p.clock ->
+      ctx.p.pending_stalls <- rest;
+      if ctx.m.trace_on then begin
+        Trace.record ctx.m.trace ~proc:ctx.p.id ~start:ctx.p.clock
+          ~duration:s.Fault.stall_for Trace.Stall;
+        Trace.record_fault ctx.m.trace ~kind:Trace.Fstall ~proc:ctx.p.id
+          ~time:ctx.p.clock ()
+      end;
+      ctx.p.clock <- ctx.p.clock +. s.Fault.stall_for;
+      ctx.p.stats.Stats.stall_time <-
+        ctx.p.stats.Stats.stall_time +. s.Fault.stall_for;
+      apply_stalls ctx
+  | _ -> ()
 
 let compute ctx seconds =
   assert (seconds >= 0.0);
+  if ctx.m.faults_on then apply_stalls ctx;
   if ctx.m.trace_on then
     Trace.record ctx.m.trace ~proc:ctx.p.id ~start:ctx.p.clock
       ~duration:seconds Trace.Compute;
@@ -98,6 +150,7 @@ let charge_scalar_nodes ctx ~ops =
   end
 
 let overhead ctx seconds =
+  if ctx.m.faults_on then apply_stalls ctx;
   if ctx.m.trace_on then
     Trace.record ctx.m.trace ~proc:ctx.p.id ~start:ctx.p.clock
       ~duration:seconds Trace.Overhead;
@@ -111,6 +164,40 @@ let charge_skeleton_call ctx =
 
 let charge_copy ctx ~bytes =
   compute ctx (float_of_int bytes *. Calibration.copy_per_byte)
+
+(* Checkpoint-protected region: fail-stop crash recovery.
+
+   [f] must be a local, communication-free computation whose effects are
+   confined to state captured by [snapshot]/[restore] (the skeleton layer
+   wraps the per-partition loops of map/fold/gen_mult).  When the plan
+   schedules a crash on this processor, the first protected region whose end
+   clock reaches the crash time loses its work: the snapshot is restored
+   (both copies charged through the cost model), the reboot penalty is
+   charged, and the region re-executes.  With no crash pending the region
+   runs with zero overhead — fault-free runs never snapshot. *)
+let protect ctx ~bytes ~snapshot ~restore f =
+  let m = ctx.m in
+  if (not m.faults_on) || ctx.p.pending_crashes = [] then f ()
+  else begin
+    let snap = snapshot () in
+    charge_copy ctx ~bytes;
+    let rec attempt () =
+      let r = f () in
+      match ctx.p.pending_crashes with
+      | tc :: rest when tc <= ctx.p.clock ->
+          ctx.p.pending_crashes <- rest;
+          if m.trace_on then
+            Trace.record_fault m.trace ~kind:Trace.Fcrash ~proc:ctx.p.id
+              ~time:ctx.p.clock ();
+          ctx.p.stats.Stats.recoveries <- ctx.p.stats.Stats.recoveries + 1;
+          overhead ctx m.fplan.Fault.reboot;
+          restore snap;
+          charge_copy ctx ~bytes;
+          attempt ()
+      | _ -> r
+    in
+    attempt ()
+  end
 
 (* Span brackets: zero simulated cost, recorded only when tracing. *)
 
@@ -186,48 +273,199 @@ let chan_enqueue_queue c tag =
 
 (* ------------------------------------------------------------------ *)
 
-let send ctx ?(rendezvous = false) ~dest ~tag ~bytes v =
+let wake_if_waiting m target ~src ~tag =
+  match target.waiting with
+  | Some (Exact (s, t)) when s = src && t = tag ->
+      target.waiting <- None;
+      Scheduler.wake m.sched target.id
+  | Some (Any_source t) when t = tag ->
+      target.waiting <- None;
+      Scheduler.wake m.sched target.id
+  | Some _ | None -> ()
+
+(* Faulty/reliable send — the cold sibling of [send] below.  Timing here may
+   legitimately differ from the plain path (that is the point), but the FIFO
+   enqueue discipline is identical: per-(src, tag) queues are consumed in
+   enqueue order regardless of arrival times, so retransmission delays never
+   reorder message matching and a [Reliable] run computes fault-free values.
+
+   Reliable transport is resolved at send time ("virtual retransmission"):
+   because every fault decision is a pure function of
+   (seed, src, dst, tag, seq, attempt), the sender can walk the attempt
+   sequence — attempt [k] is posted after the capped exponential backoff
+   sum of attempts [0..k-1], each retransmission charging send overhead and
+   wire bytes — until the first attempt that is neither dropped nor
+   corruption-flagged, and enqueue one clean copy with that attempt's
+   arrival time.  A hard cap of [max_attempts] forces eventual delivery so
+   termination never depends on the plan (an adversarial plan otherwise
+   could drop every attempt). *)
+let max_attempts = 64
+
+let pow2_backoff ~rto ~cap k =
+  (* min(cap, rto * 2^k) without float exponentiation *)
+  let rec go v i = if i >= k then v else if v >= cap then cap else go (v *. 2.0) (i + 1) in
+  Float.min cap (go rto 0)
+
+let send_faulty ctx ~rendezvous ~dest ~tag ~bytes v =
   let m = ctx.m in
-  if dest < 0 || dest >= Array.length m.procs then
-    invalid_arg "Machine.send: destination out of range";
+  let plan = m.fplan in
   overhead ctx m.c_send_overhead;
-  let hops = Topology.hops m.topology ctx.p.id dest in
-  let arrival =
-    ctx.p.clock +. m.c_latency
+  let src = ctx.p.id in
+  let hops = Topology.hops m.topology src dest in
+  let transit =
+    m.c_latency
     +. (float_of_int hops *. m.c_per_hop)
     +. (float_of_int bytes *. m.c_per_byte)
   in
+  let seq = ctx.p.next_seq.(dest) in
+  ctx.p.next_seq.(dest) <- seq + 1;
   let target = m.procs.(dest) in
-  let tmsg =
-    if m.trace_on then
-      Trace.record_send m.trace ~src:ctx.p.id ~dst:dest ~tag ~bytes ~hops
-        ~sent:ctx.p.clock ~arrival
-    else None
-  in
-  Queue.add { arrival; payload = Obj.repr v; tmsg }
-    (chan_enqueue_queue target.channels.(ctx.p.id) tag);
   let st = ctx.p.stats in
   st.Stats.msgs_sent <- st.Stats.msgs_sent + 1;
   st.Stats.bytes_sent <- st.Stats.bytes_sent + bytes;
   st.Stats.hop_bytes <- st.Stats.hop_bytes + (bytes * hops);
-  if rendezvous || m.sync_comm then begin
-    (* Rendezvous-style link: the sender is busy until delivery, so no
-       communication/computation overlap is possible. *)
-    let wait = Float.max 0.0 (arrival -. ctx.p.clock) in
+  let enqueue ~arrival ~delivery =
+    let tmsg =
+      if m.trace_on then
+        Trace.record_send m.trace ~src ~dst:dest ~tag ~bytes ~hops
+          ~sent:ctx.p.clock ~arrival
+      else None
+    in
+    Queue.add
+      { arrival; payload = Obj.repr v; tmsg; seq; delivery }
+      (chan_enqueue_queue target.channels.(src) tag)
+  in
+  let record_fault kind =
     if m.trace_on then
-      Trace.record m.trace ~proc:ctx.p.id ~start:ctx.p.clock ~duration:wait
-        Trace.Wait;
-    ctx.p.clock <- arrival;
-    st.Stats.comm_wait <- st.Stats.comm_wait +. wait
-  end;
-  (match target.waiting with
-   | Some (Exact (s, t)) when s = ctx.p.id && t = tag ->
-       target.waiting <- None;
-       Scheduler.wake m.sched dest
-   | Some (Any_source t) when t = tag ->
-       target.waiting <- None;
-       Scheduler.wake m.sched dest
-   | Some _ | None -> ())
+      Trace.record_fault m.trace ~kind ~proc:src ~peer:dest ~tag
+        ~time:ctx.p.clock ()
+  in
+  let sender_wait ~arrival =
+    if rendezvous || m.sync_comm then begin
+      let wait = Float.max 0.0 (arrival -. ctx.p.clock) in
+      if m.trace_on then
+        Trace.record m.trace ~proc:src ~start:ctx.p.clock ~duration:wait
+          Trace.Wait;
+      ctx.p.clock <- Float.max ctx.p.clock arrival;
+      st.Stats.comm_wait <- st.Stats.comm_wait +. wait
+    end
+  in
+  if m.reliable then begin
+    let rto = m.rto_fixed +. (2.0 *. float_of_int bytes *. m.c_per_byte) in
+    let cap = 16.0 *. rto in
+    let t0 = ctx.p.clock in
+    let rec attempt k offset =
+      if k >= max_attempts - 1 then (offset, Fault.clean)
+      else
+        let d =
+          if m.faults_on then
+            Fault.decision plan ~src ~dst:dest ~tag ~seq ~attempt:k
+          else Fault.clean
+        in
+        if d.Fault.d_drop || d.Fault.d_corrupt then begin
+          (* this copy never reaches the receiver intact: the sender times
+             out waiting for the ack and retransmits after a backoff *)
+          record_fault
+            (if d.Fault.d_drop then Trace.Fdrop else Trace.Fcorrupt);
+          if d.Fault.d_drop then
+            st.Stats.msgs_dropped <- st.Stats.msgs_dropped + 1;
+          st.Stats.msgs_retried <- st.Stats.msgs_retried + 1;
+          st.Stats.bytes_sent <- st.Stats.bytes_sent + bytes;
+          record_fault Trace.Fretry;
+          overhead ctx m.c_send_overhead;
+          attempt (k + 1) (offset +. pow2_backoff ~rto ~cap k)
+        end
+        else (offset, d)
+    in
+    let offset, d = attempt 0 0.0 in
+    if d.Fault.d_delay_factor <> 1.0 then record_fault Trace.Fdelay;
+    let arrival = t0 +. offset +. (transit *. d.Fault.d_delay_factor) in
+    enqueue ~arrival ~delivery:Clean;
+    if d.Fault.d_dup then begin
+      record_fault Trace.Fdup;
+      enqueue ~arrival ~delivery:Duplicate
+    end;
+    sender_wait ~arrival;
+    wake_if_waiting m target ~src ~tag
+  end
+  else begin
+    (* raw faulty mode: the network's misbehaviour reaches the program *)
+    let d = Fault.decision plan ~src ~dst:dest ~tag ~seq ~attempt:0 in
+    if d.Fault.d_drop then begin
+      st.Stats.msgs_dropped <- st.Stats.msgs_dropped + 1;
+      record_fault Trace.Fdrop;
+      (* the sender cannot tell: under a rendezvous/synchronous link it
+         still waits the nominal transit as if delivery had happened; the
+         receiver blocks forever and the run surfaces as [Stalled] *)
+      sender_wait ~arrival:(ctx.p.clock +. transit)
+    end
+    else begin
+      if d.Fault.d_delay_factor <> 1.0 then record_fault Trace.Fdelay;
+      let arrival = ctx.p.clock +. (transit *. d.Fault.d_delay_factor) in
+      let delivery =
+        if d.Fault.d_corrupt then begin
+          record_fault Trace.Fcorrupt;
+          Corrupted
+        end
+        else Clean
+      in
+      enqueue ~arrival ~delivery;
+      if d.Fault.d_dup then begin
+        record_fault Trace.Fdup;
+        enqueue ~arrival ~delivery:Duplicate
+      end;
+      sender_wait ~arrival;
+      wake_if_waiting m target ~src ~tag
+    end
+  end
+
+let send ctx ?(rendezvous = false) ~dest ~tag ~bytes v =
+  let m = ctx.m in
+  if dest < 0 || dest >= Array.length m.procs then
+    invalid_arg "Machine.send: destination out of range";
+  if m.faults_on || m.reliable then
+    send_faulty ctx ~rendezvous ~dest ~tag ~bytes v
+  else begin
+    overhead ctx m.c_send_overhead;
+    let hops = Topology.hops m.topology ctx.p.id dest in
+    let arrival =
+      ctx.p.clock +. m.c_latency
+      +. (float_of_int hops *. m.c_per_hop)
+      +. (float_of_int bytes *. m.c_per_byte)
+    in
+    let target = m.procs.(dest) in
+    let tmsg =
+      if m.trace_on then
+        Trace.record_send m.trace ~src:ctx.p.id ~dst:dest ~tag ~bytes ~hops
+          ~sent:ctx.p.clock ~arrival
+      else None
+    in
+    Queue.add
+      { arrival; payload = Obj.repr v; tmsg; seq = 0; delivery = Clean }
+      (chan_enqueue_queue target.channels.(ctx.p.id) tag);
+    let st = ctx.p.stats in
+    st.Stats.msgs_sent <- st.Stats.msgs_sent + 1;
+    st.Stats.bytes_sent <- st.Stats.bytes_sent + bytes;
+    st.Stats.hop_bytes <- st.Stats.hop_bytes + (bytes * hops);
+    if rendezvous || m.sync_comm then begin
+      (* Rendezvous-style link: the sender is busy until delivery, so no
+         communication/computation overlap is possible. *)
+      let wait = Float.max 0.0 (arrival -. ctx.p.clock) in
+      if m.trace_on then
+        Trace.record m.trace ~proc:ctx.p.id ~start:ctx.p.clock ~duration:wait
+          Trace.Wait;
+      ctx.p.clock <- arrival;
+      st.Stats.comm_wait <- st.Stats.comm_wait +. wait
+    end;
+    match target.waiting with
+    | Some (Exact (s, t)) when s = ctx.p.id && t = tag ->
+        target.waiting <- None;
+        Scheduler.wake m.sched dest
+    | Some (Any_source t) when t = tag ->
+        target.waiting <- None;
+        Scheduler.wake m.sched dest
+    | Some _ | None -> ()
+  end
 
 let finish_recv ctx msg =
   let m = ctx.m in
@@ -242,6 +480,25 @@ let finish_recv ctx msg =
   | Some tm -> Trace.mark_received tm ~time:ctx.p.clock
   | None -> ()
 
+(* Receiver-side dedup under [Reliable]: the transport discards a copy whose
+   (src, seq) was already accepted.  Returns true when the copy must be
+   skipped.  Discarding is free in simulated time (a NIC-level drop); the
+   accepted copy pays the ack below. *)
+let dedup_discard ctx ~src msg =
+  let key = (src, msg.seq) in
+  if Hashtbl.mem ctx.p.seen key then true
+  else begin
+    Hashtbl.add ctx.p.seen key ();
+    false
+  end
+
+(* The accepted message is acknowledged: the ack transmission costs the
+   receiver one send overhead (ack receipt at the sender is folded into the
+   virtual-retransmission timeout model). *)
+let charge_ack ctx =
+  overhead ctx ctx.m.c_send_overhead;
+  ctx.p.stats.Stats.acks_sent <- ctx.p.stats.Stats.acks_sent + 1
+
 let recv ctx ~src ~tag =
   let m = ctx.m in
   if src < 0 || src >= Array.length m.procs then
@@ -249,7 +506,9 @@ let recv ctx ~src ~tag =
   let c = ctx.p.channels.(src) in
   let rec obtain () =
     match chan_find c tag with
-    | Some q when not (Queue.is_empty q) -> Queue.take q
+    | Some q when not (Queue.is_empty q) ->
+        let msg = Queue.take q in
+        if m.reliable && dedup_discard ctx ~src msg then obtain () else msg
     | Some _ | None ->
         ctx.p.waiting <- Some (Exact (src, tag));
         Scheduler.block m.sched;
@@ -258,6 +517,7 @@ let recv ctx ~src ~tag =
   let msg = obtain () in
   ctx.p.waiting <- None;
   finish_recv ctx msg;
+  if m.reliable then charge_ack ctx;
   Obj.obj msg.payload
 
 let recv_any ctx ~tag =
@@ -282,7 +542,10 @@ let recv_any ctx ~tag =
   in
   let rec obtain () =
     match best () with
-    | Some (src, q) -> (src, Queue.take q)
+    | Some (src, q) ->
+        let msg = Queue.take q in
+        if m.reliable && dedup_discard ctx ~src msg then obtain ()
+        else (src, msg)
     | None ->
         ctx.p.waiting <- Some (Any_source tag);
         Scheduler.block m.sched;
@@ -291,6 +554,7 @@ let recv_any ctx ~tag =
   let src, msg = obtain () in
   ctx.p.waiting <- None;
   finish_recv ctx msg;
+  if m.reliable then charge_ack ctx;
   (src, Obj.obj msg.payload)
 
 let sendrecv ctx ~dest ~src ~tag ~bytes v =
@@ -319,11 +583,56 @@ let tags ctx n =
       ctx.m.next_tag <- ctx.m.next_tag + n;
       t)
 
-let run ?(cost = Cost_model.default) ?(trace = false) ~topology f =
+let describe_blocked (p : proc) =
+  match p.waiting with
+  | Some (Exact (s, t)) ->
+      Printf.sprintf "waiting on recv from p%d, tag %d (clock %.6f s)" s t
+        p.clock
+  | Some (Any_source t) ->
+      Printf.sprintf "waiting on recv from any source, tag %d (clock %.6f s)"
+        t p.clock
+  | None -> Printf.sprintf "blocked (clock %.6f s)" p.clock
+
+let run ?(cost = Cost_model.default) ?(trace = false) ?faults
+    ?(reliable = false) ~topology f =
   let n = Topology.nprocs topology in
   let sched = Scheduler.create () in
   let params = cost.Cost_model.params in
   let cf = cost.Cost_model.profile.Cost_model.comm_factor in
+  let faults_on = faults <> None in
+  let fplan =
+    match faults with Some p -> p | None -> Fault.none ~seed:0
+  in
+  let faulty = faults_on || reliable in
+  let c_latency = cf *. params.Cost_model.msg_latency in
+  let c_per_hop = cf *. params.Cost_model.per_hop in
+  (* retransmission timeout ~ a round trip across the network diameter; the
+     per-message bytes term is added at send time *)
+  let rto_fixed =
+    if reliable then begin
+      let diam = ref 0 in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          diam := max !diam (Topology.hops topology i j)
+        done
+      done;
+      2.0 *. (c_latency +. (float_of_int !diam *. c_per_hop))
+    end
+    else 0.0
+  in
+  let stalls_for id =
+    if not faults_on then []
+    else
+      List.filter (fun (p, _) -> p = id) fplan.Fault.stalls
+      |> List.map snd
+      |> List.sort (fun a b -> compare a.Fault.stall_at b.Fault.stall_at)
+  in
+  let crashes_for id =
+    if not faults_on then []
+    else
+      List.filter (fun (p, _) -> p = id) fplan.Fault.crashes
+      |> List.map snd |> List.sort compare
+  in
   let m =
     {
       topology;
@@ -338,6 +647,10 @@ let run ?(cost = Cost_model.default) ?(trace = false) ~topology f =
               coll_count = 0;
               span_stack = [];
               stats = Stats.fresh_proc ();
+              next_seq = (if faulty then Array.make n 0 else [||]);
+              seen = Hashtbl.create (if reliable then 64 else 1);
+              pending_stalls = stalls_for id;
+              pending_crashes = crashes_for id;
             });
       sched;
       collectives = Hashtbl.create 16;
@@ -346,24 +659,36 @@ let run ?(cost = Cost_model.default) ?(trace = false) ~topology f =
       trace_on = trace;
       c_send_overhead = cf *. params.Cost_model.send_overhead;
       c_recv_overhead = cf *. params.Cost_model.recv_overhead;
-      c_latency = cf *. params.Cost_model.msg_latency;
-      c_per_hop = cf *. params.Cost_model.per_hop;
+      c_latency;
+      c_per_hop;
       c_per_byte = cf *. params.Cost_model.per_byte;
       sync_comm = cost.Cost_model.profile.Cost_model.sync_comm;
       c_scalar_factor =
         Cost_model.factor cost.Cost_model.profile Cost_model.Scalar;
+      fplan;
+      faults_on;
+      reliable;
+      rto_fixed;
     }
   in
   let stats =
     { Stats.procs = Array.map (fun (p : proc) -> p.stats) m.procs;
       makespan = 0.0 }
   in
+  Scheduler.set_describer sched (fun id ->
+      if id >= 0 && id < n then Some (describe_blocked m.procs.(id)) else None);
   let values = Array.make n None in
   for id = 0 to n - 1 do
     let ctx = { m; p = m.procs.(id) } in
     ignore (Scheduler.spawn sched (fun () -> values.(id) <- Some (f ctx)))
   done;
-  Scheduler.run sched;
+  (try Scheduler.run sched
+   with Scheduler.Deadlock blocked ->
+     raise
+       (Stalled
+          (List.map
+             (fun (id, d) -> (id, Option.value d ~default:"blocked"))
+             blocked)));
   let makespan =
     Array.fold_left (fun acc p -> Float.max acc p.clock) 0.0 m.procs
   in

@@ -20,15 +20,48 @@ type 'r result = {
 (** [values.(i)] is processor [i]'s return value; [time] is the makespan
     (max finishing clock); [trace] is empty unless requested. *)
 
+exception Stalled of (int * string) list
+(** The machine made no progress: every live fiber is blocked.  Carries, for
+    each blocked processor, a description of the receive it is parked on —
+    source, tag and its clock at block time.  Raised instead of a silent
+    {!Scheduler.Deadlock} both for genuine program deadlocks and for
+    receivers starved by dropped messages under a fault plan without
+    [~reliable]. *)
+
+val stall_diagnostic : (int * string) list -> string
+(** Render a {!Stalled} payload as a multi-line human-readable report. *)
+
 val run :
   ?cost:Cost_model.t ->
   ?trace:bool ->
+  ?faults:Fault.plan ->
+  ?reliable:bool ->
   topology:Topology.t ->
   (ctx -> 'r) ->
   'r result
 (** Run an SPMD program on every processor of [topology].  [trace] (default
     false) records per-processor activity intervals (see {!Trace}).
-    @raise Scheduler.Deadlock if the program deadlocks.
+
+    [faults] installs a deterministic {!Fault.plan}: messages may be
+    dropped, duplicated, corruption-flagged or delayed, processors may
+    transiently stall, and scheduled fail-stop crashes make
+    checkpoint-protected regions ({!protect}) lose and re-execute their
+    work.  Every decision is a pure function of the plan's seed and the
+    message key, so a run is exactly replayable.  With [faults] absent and
+    [reliable] false the simulation is bit-identical (values, clocks, stats,
+    traces) to builds without fault injection — the fault machinery is a
+    dead branch behind cached booleans.
+
+    [reliable] (default false) turns on the [Reliable] transport: sequence
+    numbers, receiver-side dedup of duplicated copies, and ack/timeout/retry
+    with capped exponential backoff, all charged in simulated time.
+    Retransmission is resolved at send time from the plan's pure decisions,
+    so delivery — and hence program values for deterministic-order programs
+    — always matches the fault-free run; only timing degrades.  (Programs
+    using {!recv_any} may observe a different winner when latency spikes
+    reorder arrivals.)
+
+    @raise Stalled if the program deadlocks or starves (see above).
     Exceptions raised by the program propagate. *)
 
 (** {1 Processor context} *)
@@ -58,6 +91,31 @@ val charge_skeleton_call : ctx -> unit
 
 val charge_copy : ctx -> bytes:int -> unit
 (** Charge a contiguous local memory copy of [bytes] bytes. *)
+
+(** {1 Crash protection} *)
+
+val checkpoint_default : ctx -> bool
+(** Whether the installed fault plan asks skeletons to checkpoint their
+    partitions ([false] when no plan is installed) — the default for
+    [Skeletons.create]'s checkpoint policy. *)
+
+val protect :
+  ctx ->
+  bytes:int ->
+  snapshot:(unit -> 'snap) ->
+  restore:('snap -> unit) ->
+  (unit -> 'a) ->
+  'a
+(** [protect ctx ~bytes ~snapshot ~restore f] runs the local,
+    communication-free region [f] under fail-stop crash protection.  If the
+    fault plan schedules a crash on this processor and the region's end
+    clock reaches the crash time, the region's work is lost: [restore] puts
+    back the snapshot taken on entry, the plan's reboot penalty and the two
+    [bytes]-sized copies (checkpoint + restore) are charged, and [f] is
+    re-executed.  With no crash pending the region runs at zero cost —
+    fault-free runs never snapshot.  [f] must be idempotent given [restore]
+    (true for the skeleton layer's partition loops, whose only effects are
+    writes to the snapshotted partitions). *)
 
 (** {1 Trace spans}
 

@@ -46,7 +46,9 @@ let critical_path ~nprocs trace =
   List.iter
     (fun (e : Trace.event) ->
       match e.Trace.kind with
-      | Trace.Compute | Trace.Overhead ->
+      | Trace.Compute | Trace.Overhead | Trace.Stall ->
+          (* an injected stall occupies the processor just like work does,
+             so it lengthens every chain passing through it *)
           events :=
             (e.Trace.start +. e.Trace.duration, 1, e.Trace.proc, e.Trace.duration)
             :: !events
@@ -100,7 +102,10 @@ let of_trace trace ~nprocs ~makespan =
       on e.Trace.proc (fun pp ->
           match e.Trace.kind with
           | Trace.Compute -> { pp with compute = pp.compute +. e.Trace.duration }
-          | Trace.Wait -> { pp with wait = pp.wait +. e.Trace.duration }
+          | Trace.Wait | Trace.Stall ->
+              (* stalls are lost time, bucketed with waits so the report's
+                 columns (and fault-free output) are unchanged *)
+              { pp with wait = pp.wait +. e.Trace.duration }
           | Trace.Overhead ->
               { pp with overhead = pp.overhead +. e.Trace.duration }))
     (Trace.events trace);
@@ -284,10 +289,18 @@ let chrome_json trace ~nprocs =
         | Trace.Compute -> "compute"
         | Trace.Wait -> "wait"
         | Trace.Overhead -> "overhead"
+        | Trace.Stall -> "stall"
       in
       emit {|{"name":"%s","cat":"interval","ph":"X","ts":%.3f,"dur":%.3f,"pid":0,"tid":%d}|}
         name (us e.Trace.start) (us e.Trace.duration) e.Trace.proc)
     (Trace.events trace);
+  List.iter
+    (fun (f : Trace.fault_event) ->
+      emit
+        {|{"name":"fault:%s","cat":"fault","ph":"i","s":"t","ts":%.3f,"pid":0,"tid":%d,"args":{"peer":%d,"tag":%d}}|}
+        (Trace.fault_kind_name f.Trace.fkind)
+        (us f.Trace.ftime) f.Trace.fproc f.Trace.fpeer f.Trace.ftag)
+    (Trace.fault_events trace);
   List.iteri
     (fun i (m : Trace.message) ->
       emit

@@ -12,9 +12,12 @@ type t = {
   runnable : int Queue.t;
   mutable current : int;
   mutable finished : int;
+  mutable describe : int -> string option;
+      (* consulted only when a deadlock is detected, so describing blocked
+         fibers costs nothing on the block/wake hot path *)
 }
 
-exception Deadlock of int list
+exception Deadlock of (int * string option) list
 
 let create () =
   {
@@ -23,7 +26,10 @@ let create () =
     runnable = Queue.create ();
     current = -1;
     finished = 0;
+    describe = (fun _ -> None);
   }
+
+let set_describer t f = t.describe <- f
 
 let spawn t f =
   if t.nfibers = Array.length t.fibers then begin
@@ -87,7 +93,9 @@ let blocked_ids t =
 let run t =
   while t.finished < t.nfibers do
     match Queue.take_opt t.runnable with
-    | None -> raise (Deadlock (blocked_ids t))
+    | None ->
+        raise
+          (Deadlock (List.map (fun id -> (id, t.describe id)) (blocked_ids t)))
     | Some id -> (
         t.current <- id;
         (match t.fibers.(id) with

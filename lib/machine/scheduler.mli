@@ -7,11 +7,18 @@
 
 type t
 
-exception Deadlock of int list
+exception Deadlock of (int * string option) list
 (** Raised by {!run} when no fiber is runnable but some are still blocked;
-    carries the ids of the blocked fibers. *)
+    carries, for each blocked fiber, its id and — when a describer was
+    registered — a human-readable account of what it is waiting on (for the
+    machine layer: the [(src, tag)] of the pending receive). *)
 
 val create : unit -> t
+
+val set_describer : t -> (int -> string option) -> unit
+(** Register a callback mapping a blocked fiber id to a description of what
+    it waits on.  Consulted only when building a {!Deadlock} — never on the
+    block/wake hot path, so it may be arbitrarily informative. *)
 
 val spawn : t -> (unit -> unit) -> int
 (** Register a fiber; it becomes runnable immediately.  Returns its id

@@ -6,6 +6,14 @@ type proc = {
   mutable bytes_sent : int;
   mutable hop_bytes : int;
   mutable skeleton_calls : int;
+  (* fault/reliability counters — all zero in fault-free runs, and
+     [pp_summary] only mentions them when nonzero, so golden comparisons of
+     fault-free output stay byte-identical *)
+  mutable msgs_dropped : int;
+  mutable msgs_retried : int;
+  mutable acks_sent : int;
+  mutable recoveries : int;
+  mutable stall_time : float;
 }
 
 type t = { procs : proc array; mutable makespan : float }
@@ -19,6 +27,11 @@ let fresh_proc () =
     bytes_sent = 0;
     hop_bytes = 0;
     skeleton_calls = 0;
+    msgs_dropped = 0;
+    msgs_retried = 0;
+    acks_sent = 0;
+    recoveries = 0;
+    stall_time = 0.0;
   }
 
 let create n = { procs = Array.init n (fun _ -> fresh_proc ()); makespan = 0.0 }
@@ -27,6 +40,13 @@ let proc t i = t.procs.(i)
 let sum_by f t = Array.fold_left (fun acc p -> acc + f p) 0 t.procs
 let total_msgs t = sum_by (fun p -> p.msgs_sent) t
 let total_bytes t = sum_by (fun p -> p.bytes_sent) t
+let total_dropped t = sum_by (fun p -> p.msgs_dropped) t
+let total_retried t = sum_by (fun p -> p.msgs_retried) t
+let total_acks t = sum_by (fun p -> p.acks_sent) t
+let total_recoveries t = sum_by (fun p -> p.recoveries) t
+
+let total_stall t =
+  Array.fold_left (fun acc p -> acc +. p.stall_time) 0.0 t.procs
 
 let max_compute t =
   Array.fold_left (fun acc p -> Float.max acc p.compute_time) 0.0 t.procs
@@ -39,4 +59,14 @@ let pp_summary ppf t =
   Format.fprintf ppf
     "makespan %.4f s, max compute %.4f s, avg wait %.4f s, %d msgs, %d bytes"
     t.makespan (max_compute t) (avg_comm_wait t) (total_msgs t)
-    (total_bytes t)
+    (total_bytes t);
+  (* fault-free runs print exactly the historical line *)
+  let dropped = total_dropped t
+  and retried = total_retried t
+  and acks = total_acks t
+  and recov = total_recoveries t
+  and stall = total_stall t in
+  if dropped > 0 || retried > 0 || acks > 0 || recov > 0 || stall > 0.0 then
+    Format.fprintf ppf
+      " | faults: %d dropped, %d retried, %d acks, %d recoveries, %.4f s stalled"
+      dropped retried acks recov stall

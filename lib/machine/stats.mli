@@ -8,7 +8,20 @@ type proc = {
   mutable bytes_sent : int;
   mutable hop_bytes : int;  (** sum over messages of [bytes * hops] *)
   mutable skeleton_calls : int;
+  mutable msgs_dropped : int;
+      (** messages lost by the injected network (charged to the sender) *)
+  mutable msgs_retried : int;
+      (** retransmission attempts made by the [Reliable] transport *)
+  mutable acks_sent : int;
+      (** acknowledgements charged at the receiver under [Reliable] *)
+  mutable recoveries : int;
+      (** checkpoint-restore re-executions after fail-stop crashes *)
+  mutable stall_time : float;
+      (** seconds lost to injected transient processor stalls *)
 }
+(** The five fault counters are all zero in fault-free runs, and
+    {!pp_summary} omits them when zero — fault-free output is byte-identical
+    to builds that predate fault injection. *)
 
 type t = {
   procs : proc array;
@@ -20,6 +33,11 @@ val fresh_proc : unit -> proc
 val proc : t -> int -> proc
 val total_msgs : t -> int
 val total_bytes : t -> int
+val total_dropped : t -> int
+val total_retried : t -> int
+val total_acks : t -> int
+val total_recoveries : t -> int
+val total_stall : t -> float
 val max_compute : t -> float
 val avg_comm_wait : t -> float
 val pp_summary : Format.formatter -> t -> unit

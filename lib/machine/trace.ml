@@ -1,5 +1,24 @@
-type kind = Compute | Wait | Overhead
+type kind = Compute | Wait | Overhead | Stall
 type event = { proc : int; start : float; duration : float; kind : kind }
+
+type fault_kind = Fdrop | Fdup | Fcorrupt | Fdelay | Fretry | Fstall | Fcrash
+
+type fault_event = {
+  fkind : fault_kind;
+  fproc : int; (* processor that observed/charged the fault *)
+  fpeer : int; (* other endpoint of the link, -1 for stalls/crashes *)
+  ftag : int; (* message tag, -1 for stalls/crashes *)
+  ftime : float;
+}
+
+let fault_kind_name = function
+  | Fdrop -> "drop"
+  | Fdup -> "dup"
+  | Fcorrupt -> "corrupt"
+  | Fdelay -> "delay"
+  | Fretry -> "retry"
+  | Fstall -> "stall"
+  | Fcrash -> "crash"
 
 type message = {
   src : int;
@@ -30,9 +49,12 @@ type t = {
   mutable events : event list; (* reversed *)
   mutable msgs : message list; (* reversed *)
   mutable span_list : span list; (* reversed, in begin order *)
+  mutable faults : fault_event list; (* reversed *)
 }
 
-let create ~enabled = { enabled; events = []; msgs = []; span_list = [] }
+let create ~enabled =
+  { enabled; events = []; msgs = []; span_list = []; faults = [] }
+
 let enabled t = t.enabled
 
 let record t ~proc ~start ~duration kind =
@@ -48,6 +70,10 @@ let record_send t ~src ~dst ~tag ~bytes ~hops ~sent ~arrival =
   end
 
 let mark_received m ~time = m.received <- time
+
+let record_fault t ~kind ~proc ?(peer = -1) ?(tag = -1) ~time () =
+  if t.enabled then
+    t.faults <- { fkind = kind; fproc = proc; fpeer = peer; ftag = tag; ftime = time } :: t.faults
 
 let span_begin t ~proc ~cat ~name ~start =
   let s =
@@ -76,6 +102,7 @@ let span_add_ops s cls n =
 let events t = List.rev t.events
 let messages t = List.rev t.msgs
 let spans t = List.rev t.span_list
+let fault_events t = List.rev t.faults
 
 let queue_delay m =
   if m.received < 0.0 then 0.0 else Float.max 0.0 (m.received -. m.arrival)
@@ -95,7 +122,11 @@ let timeline ?(width = 60) t ~nprocs ~makespan =
     let grid = Array.make_matrix nprocs width ' ' in
     let mark e =
       let c =
-        match e.kind with Compute -> '#' | Wait -> '.' | Overhead -> '+'
+        match e.kind with
+        | Compute -> '#'
+        | Wait -> '.'
+        | Overhead -> '+'
+        | Stall -> '!'
       in
       let b0 =
         int_of_float (e.start /. makespan *. float_of_int width)
@@ -109,16 +140,20 @@ let timeline ?(width = 60) t ~nprocs ~makespan =
           (* computing dominates waiting dominates overhead within a cell *)
           let cur = grid.(e.proc).(b) in
           let rank ch =
-            match ch with '#' -> 3 | '.' -> 2 | '+' -> 1 | _ -> 0
+            match ch with '!' -> 4 | '#' -> 3 | '.' -> 2 | '+' -> 1 | _ -> 0
           in
           if rank c > rank cur then grid.(e.proc).(b) <- c
       done
     in
     List.iter mark t.events;
     let buf = Buffer.create (nprocs * (width + 16)) in
+    (* mention the stall glyph only when stalls were injected, so fault-free
+       timelines stay byte-identical to pre-fault builds *)
+    let stalled = List.exists (fun e -> e.kind = Stall) t.events in
     Buffer.add_string buf
-      (Printf.sprintf "timeline over %.4f s  (#=compute  .=wait  +=overhead)\n"
-         makespan);
+      (Printf.sprintf "timeline over %.4f s  (#=compute  .=wait  +=overhead%s)\n"
+         makespan
+         (if stalled then "  !=stall" else ""));
     Array.iteri
       (fun p row ->
         Buffer.add_string buf (Printf.sprintf "p%-3d |" p);

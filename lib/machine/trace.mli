@@ -26,8 +26,32 @@ type kind =
   | Compute
   | Wait  (** blocked on a message that had not arrived yet *)
   | Overhead  (** send/recv software costs, skeleton call overheads *)
+  | Stall  (** injected transient processor freeze ({!Fault}) *)
 
 type event = { proc : int; start : float; duration : float; kind : kind }
+
+(** Point events marking injected faults and the transport's reactions —
+    only present when a run was given a {!Fault.plan} (or [~reliable:true]),
+    so fault-free traces are unchanged. *)
+
+type fault_kind =
+  | Fdrop  (** message copy lost in transit *)
+  | Fdup  (** duplicated copy delivered *)
+  | Fcorrupt  (** copy arrived corruption-flagged *)
+  | Fdelay  (** latency spike on a link *)
+  | Fretry  (** reliable-transport retransmission *)
+  | Fstall  (** transient processor freeze *)
+  | Fcrash  (** fail-stop crash + checkpoint recovery *)
+
+type fault_event = {
+  fkind : fault_kind;
+  fproc : int;  (** processor that observed/charged the fault *)
+  fpeer : int;  (** other endpoint of the link, [-1] for stalls/crashes *)
+  ftag : int;  (** message tag, [-1] for stalls/crashes *)
+  ftime : float;
+}
+
+val fault_kind_name : fault_kind -> string
 
 type message = {
   src : int;
@@ -75,6 +99,10 @@ val record_send :
 
 val mark_received : message -> time:float -> unit
 
+val record_fault :
+  t -> kind:fault_kind -> proc:int -> ?peer:int -> ?tag:int -> time:float ->
+  unit -> unit
+
 val span_begin :
   t -> proc:int -> cat:cat -> name:string -> start:float -> span
 val span_end : span -> stop:float -> unit
@@ -91,6 +119,9 @@ val messages : t -> message list
 val spans : t -> span list
 (** In begin order. *)
 
+val fault_events : t -> fault_event list
+(** In recording order; empty for fault-free runs. *)
+
 val queue_delay : message -> float
 (** Seconds the message sat delivered-but-unconsumed at the receiver
     (0 for in-flight messages). *)
@@ -101,5 +132,6 @@ val busy_fraction : t -> proc:int -> makespan:float -> float
 val timeline :
   ?width:int -> t -> nprocs:int -> makespan:float -> string
 (** ASCII utilization chart, one row per processor: ['#'] computing, ['.']
-    waiting, ['+'] overhead, [' '] idle — one renderer over the interval
-    events. *)
+    waiting, ['+'] overhead, ['!'] stalled by an injected fault, [' '] idle
+    — one renderer over the interval events.  The legend mentions the stall
+    glyph only when stalls occurred, keeping fault-free charts unchanged. *)

@@ -1,6 +1,11 @@
 let run ?cost ~procs f =
   Machine.run ?cost ~topology:(Topology.mesh ~width:procs ~height:1) f
 
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
 let test_scheduler_basic () =
   let s = Scheduler.create () in
   let log = ref [] in
@@ -86,9 +91,19 @@ let test_scheduler_deadlock () =
   ignore (Scheduler.spawn s (fun () -> ()));
   match Scheduler.run s with
   | () -> Alcotest.fail "expected deadlock"
-  | exception Scheduler.Deadlock [ 0 ] -> ()
+  | exception Scheduler.Deadlock [ (0, None) ] -> ()
   | exception Scheduler.Deadlock ids ->
       Alcotest.failf "wrong blocked set (%d ids)" (List.length ids)
+
+let test_scheduler_deadlock_describer () =
+  let s = Scheduler.create () in
+  Scheduler.set_describer s (fun id -> Some (Printf.sprintf "fiber %d stuck" id));
+  ignore (Scheduler.spawn s (fun () -> Scheduler.block s));
+  match Scheduler.run s with
+  | () -> Alcotest.fail "expected deadlock"
+  | exception Scheduler.Deadlock [ (0, Some "fiber 0 stuck") ] -> ()
+  | exception Scheduler.Deadlock _ ->
+      Alcotest.fail "describer output not carried in Deadlock payload"
 
 let test_spmd_identity () =
   let r = run ~procs:4 (fun ctx -> Machine.self ctx * 10) in
@@ -154,14 +169,26 @@ let test_tags_distinguish () =
   Alcotest.(check int) "tags" 120 r.Machine.values.(1)
 
 let test_deadlock_detection () =
-  Alcotest.check_raises "mutual recv"
-    (Scheduler.Deadlock [ 0; 1 ])
-    (fun () ->
-      ignore
-        (run ~procs:2 (fun ctx ->
-             let other = 1 - Machine.self ctx in
-             let (_ : int) = Machine.recv ctx ~src:other ~tag:0 in
-             ())))
+  (* mutual recv: both fibers park; the machine must turn the scheduler's
+     deadlock into a [Stalled] diagnostic naming each blocked (src, tag) *)
+  match
+    run ~procs:2 (fun ctx ->
+        let other = 1 - Machine.self ctx in
+        let (_ : int) = Machine.recv ctx ~src:other ~tag:0 in
+        ())
+  with
+  | _ -> Alcotest.fail "expected Machine.Stalled"
+  | exception Machine.Stalled blocked ->
+      Alcotest.(check (list int)) "blocked ids" [ 0; 1 ] (List.map fst blocked);
+      List.iteri
+        (fun i (_, d) ->
+          let expect = Printf.sprintf "recv from p%d, tag 0" (1 - i) in
+          if not (contains d expect) then
+            Alcotest.failf "diagnostic %S does not mention %S" d expect)
+        blocked;
+      let report = Machine.stall_diagnostic blocked in
+      if not (contains report "p0") then
+        Alcotest.failf "report %S does not mention p0" report
 
 let test_clock_advance () =
   let r =
@@ -409,6 +436,8 @@ let suite =
         Alcotest.test_case "double wake suspended" `Quick
           test_scheduler_double_wake_suspended;
         Alcotest.test_case "deadlock" `Quick test_scheduler_deadlock;
+        Alcotest.test_case "deadlock describer" `Quick
+          test_scheduler_deadlock_describer;
       ] );
     ( "machine",
       [

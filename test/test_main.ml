@@ -1,7 +1,7 @@
 let () =
   Alcotest.run "skil"
     (Test_index.suite @ Test_topology.suite @ Test_machine.suite
-   @ Test_trace.suite
+   @ Test_trace.suite @ Test_faults.suite
    @ Test_collectives.suite @ Test_distribution.suite @ Test_darray.suite
    @ Test_skeletons.suite @ Test_extensions.suite @ Test_apps.suite
    @ Test_dc_apps.suite @ Test_baselines.suite @ Test_lang.suite
