@@ -7,7 +7,7 @@
                    [--check FILE] [--threshold X]
                    [--trace-out FILE] [--profile]
                    [table1|table2|figure1|claim51|claim52|ablations|
-                    scaling|degradation|bechamel|all]...
+                    scaling|degradation|collectives|bechamel|all]...
 
    [--check FILE] turns the bechamel run into a regression guard: every
    cell present in the baseline JSON (a previous --json dump, e.g.
@@ -211,7 +211,63 @@ let check_estimates ?baseline ~threshold estimates =
          cells);
   List.rev !failures
 
-let run_bechamel ~quick ~json ~check ~threshold () =
+(* Structural guarantees of the collective-selection layer, checked on the
+   deterministic simulated cells of this run (no baseline needed): auto must
+   be within 5% of the best fixed algorithm on every grid point, at least
+   two kind/topology groups must exhibit a real algorithm crossover as the
+   payload grows, and auto must not lose to the legacy trees end-to-end. *)
+let check_collectives cells apps =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  List.iter
+    (fun c ->
+      let best =
+        List.fold_left
+          (fun b (_, t) -> Float.min b t)
+          infinity c.Experiments.cc_algs
+      in
+      if c.Experiments.cc_auto > best *. 1.05 then
+        fail
+          "collectives: auto %.3f ms not within 5%%%% of best fixed %.3f ms \
+           on %s-%s-b%d"
+          (c.Experiments.cc_auto *. 1e3)
+          (best *. 1e3) c.Experiments.cc_kind c.Experiments.cc_topo
+          c.Experiments.cc_bytes)
+    cells;
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      let key = (c.Experiments.cc_kind, c.Experiments.cc_topo) in
+      let best_name =
+        fst
+          (List.fold_left
+             (fun (bn, bt) (n, t) -> if t < bt then (n, t) else (bn, bt))
+             ("", infinity) c.Experiments.cc_algs)
+      in
+      Hashtbl.replace groups key
+        (best_name :: Option.value ~default:[] (Hashtbl.find_opt groups key)))
+    cells;
+  let crossovers =
+    Hashtbl.fold
+      (fun _ names acc ->
+        if List.length (List.sort_uniq compare names) >= 2 then acc + 1
+        else acc)
+      groups 0
+  in
+  if crossovers < 2 then
+    fail
+      "collectives: only %d kind/topology groups show an algorithm crossover \
+       (need >= 2)"
+      crossovers;
+  List.iter
+    (fun a ->
+      if a.Experiments.ca_auto > a.Experiments.ca_legacy then
+        fail "collectives: auto (%.4f s) slower than legacy trees (%.4f s) on %s"
+          a.Experiments.ca_auto a.Experiments.ca_legacy a.Experiments.ca_app)
+    apps;
+  List.rev !failures
+
+let run_bechamel ~quick ~jobs ~json ~check ~threshold () =
   print_endline "== Bechamel: wall-clock cost of one simulation per cell ==";
   let open Bechamel in
   let open Toolkit in
@@ -241,6 +297,36 @@ let run_bechamel ~quick ~json ~check ~threshold () =
           | exception _ -> Printf.printf "%-40s (analysis failed)\n%!" name)
         results)
     (List.map (fun t -> Test.make_grouped ~name:"cells" [ t ]) (bechamel_tests ()));
+  (* deterministic collective-algorithm cells ride along in the same dump:
+     simulated makespans, identical under any quota, so a baseline check
+     pins them exactly *)
+  let coll_cells, coll_apps = Experiments.collectives_crossover ~jobs () in
+  let coll_estimates =
+    List.concat_map
+      (fun c ->
+        let base =
+          Printf.sprintf "coll/%s-%s-p%d-b%d" c.Experiments.cc_kind
+            c.Experiments.cc_topo c.Experiments.cc_p c.Experiments.cc_bytes
+        in
+        List.map
+          (fun (n, t) -> (base ^ "/" ^ n, t *. 1e3))
+          c.Experiments.cc_algs
+        @ [ (base ^ "/auto", c.Experiments.cc_auto *. 1e3) ])
+      coll_cells
+    @ List.concat_map
+        (fun a ->
+          [
+            ("coll/app/" ^ a.Experiments.ca_app ^ "/legacy",
+             a.Experiments.ca_legacy *. 1e3);
+            ("coll/app/" ^ a.Experiments.ca_app ^ "/auto",
+             a.Experiments.ca_auto *. 1e3);
+          ])
+        coll_apps
+  in
+  List.iter
+    (fun (n, ms) -> Printf.printf "%-52s %10.3f ms (simulated)\n%!" n ms)
+    coll_estimates;
+  estimates := List.rev_append coll_estimates !estimates;
   print_newline ();
   (match json with
    | None -> ()
@@ -262,6 +348,7 @@ let run_bechamel ~quick ~json ~check ~threshold () =
       let baseline = read_baseline baseline_file in
       (match
          check_estimates ~baseline ~threshold (List.rev !estimates)
+         @ check_collectives coll_cells coll_apps
        with
        | [] ->
            Printf.printf
@@ -351,8 +438,9 @@ let () =
    | None -> ());
   (* explicit-only: Bechamel spends a fixed time quota per cell, which would
      drown the tables' wall-clock in any speedup measurement of [all] *)
+  if wants "collectives" then Report.print_collectives ~jobs ();
   if List.mem "bechamel" targets then
-    run_bechamel ~quick ~json:json_file ~check:check_file ~threshold ();
+    run_bechamel ~quick ~jobs ~json:json_file ~check:check_file ~threshold ();
   (* tracing is opt-in and re-runs its own cell, so the timed table cells
      above always execute with recording disabled *)
   (if trace_out <> None || want_profile then begin

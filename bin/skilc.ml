@@ -170,9 +170,18 @@ let engine_conv =
         Format.fprintf ppf "%s"
           (match e with `Ast -> "ast" | `Compiled -> "compiled") )
 
+let collectives_conv =
+  let parse s =
+    match Coll_alg.mode_of_string s with
+    | Ok m -> Ok m
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf m -> Format.fprintf ppf "%s" (Coll_alg.mode_to_string m))
+
 let run_par_cmd =
   let run file entry args width height torus profile no_instantiate engine
-      no_specialize trace_out want_profile faults_spec fault_seed reliable =
+      no_specialize trace_out want_profile faults_spec fault_seed reliable
+      collectives =
     handle_errors (fun () ->
         let program, _ = load file in
         let topology =
@@ -199,7 +208,8 @@ let run_par_cmd =
         let r =
           Spmd.run ~instantiate:(not no_instantiate) ~engine
             ~specialize:(not no_specialize) ~trace ?faults ~reliable
-            ~cost:(Cost_model.make profile) ~topology program ~entry
+            ~collectives ~cost:(Cost_model.make profile) ~topology program
+            ~entry
             ~args:(List.map (fun n -> Value.VInt n) args)
         in
         Array.iteri
@@ -307,12 +317,26 @@ let run_par_cmd =
                    fault-free values regardless of $(b,--faults) drop \
                    rates.")
   in
+  let collectives =
+    Arg.(value
+         & opt collectives_conv Coll_alg.Legacy
+         & info [ "collectives" ] ~docv:"ALG"
+             ~doc:"Collective-algorithm mode: $(b,tree) (the seed's binomial \
+                   trees, byte-identical to historical output, the default), \
+                   $(b,auto) (pick per call from the topology/size cost \
+                   model), or a forced algorithm: $(b,binomial), \
+                   $(b,pipeline), $(b,vandegeijn), $(b,recdouble), \
+                   $(b,ring), $(b,pairwise), $(b,dissemination), \
+                   $(b,linear).  A forced algorithm applies wherever it \
+                   fits and falls back to auto selection elsewhere.")
+  in
   Cmd.v
     (Cmd.info "run-par"
        ~doc:"Execute a Skil program on the simulated Parsytec machine.")
     Term.(const run $ file_arg $ entry_arg $ args_arg $ width $ height
           $ torus $ profile $ no_instantiate $ engine $ no_specialize
-          $ trace_out $ want_profile $ faults_spec $ fault_seed $ reliable)
+          $ trace_out $ want_profile $ faults_spec $ fault_seed $ reliable
+          $ collectives)
 
 let () =
   let doc = "the Skil compiler (HPDC '96 reproduction)" in

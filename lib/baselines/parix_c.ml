@@ -23,7 +23,9 @@ let cannon ctx ~q ~bs ~cost ~add ~mul ablock bblock cblock =
   let tag_b = tag_a + 1 in
   let exchange tag ~dest ~src block =
     if dest = Machine.self ctx && src = Machine.self ctx then block
-    else Machine.sendrecv ctx ~dest ~src ~tag ~bytes:block_bytes block
+    else if Machine.coll_legacy ctx then
+      Machine.sendrecv ctx ~dest ~src ~tag ~bytes:block_bytes block
+    else Collectives.ring_shift ctx ~tag ~bytes:block_bytes ~dest ~src block
   in
   let a = ref ablock and b = ref bblock in
   a := exchange tag_a ~dest:(at bi (bj - bi)) ~src:(at bi (bj + bi)) !a;
@@ -68,31 +70,39 @@ let init_block ctx ~n ~q ~cost f =
   Machine.charge ctx Cost_model.Kernel ~ops:(bs * bs) ~base:cost;
   block
 
+let assemble_blocks ctx ~n ~bs seed blocks =
+  let out = Array.make (n * n) seed in
+  Array.iteri
+    (fun rank bl ->
+      let x, y = Topology.grid_coords (Machine.topology ctx) rank in
+      let bi = y and bj = x in
+      for i = 0 to bs - 1 do
+        for j = 0 to bs - 1 do
+          out.((((bi * bs) + i) * n) + (bj * bs) + j) <- bl.((i * bs) + j)
+        done
+      done)
+    blocks;
+  out
+
 let gather_blocks ctx ~n ~q block =
   let bs = n / q in
   let tag = Machine.tags ctx 1 in
-  let gathered =
-    Collectives.gather_to ctx ~tag ~root:0 ~bytes:(bs * bs * elem_bytes) block
-  in
-  let full =
-    match gathered with
-    | None -> [||]
-    | Some blocks ->
-        let out = Array.make (n * n) block.(0) in
-        Array.iteri
-          (fun rank bl ->
-            let x, y = Topology.grid_coords (Machine.topology ctx) rank in
-            let bi = y and bj = x in
-            for i = 0 to bs - 1 do
-              for j = 0 to bs - 1 do
-                out.((((bi * bs) + i) * n) + (bj * bs) + j) <-
-                  bl.((i * bs) + j)
-              done
-            done)
-          blocks;
-        out
-  in
-  Collectives.bcast ctx ~tag ~root:0 ~bytes:(n * n * elem_bytes) full
+  if Machine.coll_legacy ctx then begin
+    let gathered =
+      Collectives.gather_to ctx ~tag ~root:0 ~bytes:(bs * bs * elem_bytes)
+        block
+    in
+    let full =
+      match gathered with
+      | None -> [||]
+      | Some blocks -> assemble_blocks ctx ~n ~bs block.(0) blocks
+    in
+    Collectives.bcast ctx ~tag ~root:0 ~bytes:(n * n * elem_bytes) full
+  end
+  else
+    (* one all-gather of the q*q blocks; every rank assembles locally *)
+    assemble_blocks ctx ~n ~bs block.(0)
+      (Collectives.allgather ctx ~tag ~bytes:(bs * bs * elem_bytes) block)
 
 let shortest_paths ctx ~n ~weight =
   let q = square_grid ctx in
@@ -237,18 +247,21 @@ let gauss ?(pivoting = false) ctx ~n ~matrix =
   Machine.charge ctx Cost_model.Kernel ~ops:nloc
     ~base:Calibration.gauss_elem_op;
   (* assemble the solution vector everywhere *)
-  let gathered =
-    Collectives.gather_to ctx ~tag ~root:0 ~bytes:(nloc * elem_bytes)
-      (r0, local_x)
+  let assemble pieces =
+    let out = Array.make n 0.0 in
+    Array.iter
+      (fun (start, xs) -> Array.blit xs 0 out start (Array.length xs))
+      pieces;
+    out
   in
-  let x =
-    match gathered with
-    | None -> [||]
-    | Some pieces ->
-        let out = Array.make n 0.0 in
-        Array.iter
-          (fun (start, xs) -> Array.blit xs 0 out start (Array.length xs))
-          pieces;
-        out
-  in
-  Collectives.bcast ctx ~tag ~root:0 ~bytes:(n * elem_bytes) x
+  if Machine.coll_legacy ctx then begin
+    let gathered =
+      Collectives.gather_to ctx ~tag ~root:0 ~bytes:(nloc * elem_bytes)
+        (r0, local_x)
+    in
+    let x = match gathered with None -> [||] | Some pieces -> assemble pieces in
+    Collectives.bcast ctx ~tag ~root:0 ~bytes:(n * elem_bytes) x
+  end
+  else
+    assemble
+      (Collectives.allgather ctx ~tag ~bytes:(nloc * elem_bytes) (r0, local_x))

@@ -171,6 +171,31 @@ let to_flat a =
     out
   end
 
+(* Assemble the row-major global image from caller-supplied per-partition
+   data snapshots ([snapshots.(r)] standing in for partition [r]'s live
+   storage).  The allgather-based [Skeletons.to_flat] rebuilds from data
+   deposited at collective time, which a rank finishing the collective
+   early cannot mutate — unlike the live partitions [to_flat] reads. *)
+let flat_of_snapshots a snapshots =
+  check_alive a;
+  let n = Index.volume a.gsize in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (seed_elem a.parts) in
+    Array.iteri
+      (fun r p ->
+        let p = { p with data = snapshots.(r) } in
+        match p.region with
+        | Distribution.Rect b -> blit_rect_part a.gsize p b out
+        | Distribution.Rows { rows; ncols } ->
+            Array.iteri
+              (fun i row ->
+                Array.blit p.data (i * ncols) out (row * ncols) ncols)
+              rows)
+      a.parts;
+    out
+  end
+
 let row a r =
   check_alive a;
   if a.dim <> 2 then invalid_arg "Darray.row: 2-D arrays only";

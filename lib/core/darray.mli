@@ -84,5 +84,10 @@ val poke : 'a t -> Index.t -> 'a -> unit
 val to_flat : 'a t -> 'a array
 (** Row-major copy of the whole global array. *)
 
+val flat_of_snapshots : 'a t -> 'a array array -> 'a array
+(** [to_flat], but reading partition [r]'s elements from [snapshots.(r)]
+    (same local storage order) instead of the live partition — for callers
+    holding data captured at an earlier, known-consistent point. *)
+
 val row : 'a t -> int -> 'a array
 (** One global row of a 2-D array. *)

@@ -341,7 +341,11 @@ let gen_mult ctx ?(cost = default_elem_cost) ~add ~mul (a : 'a Darray.t)
   let tag_b = tag_a + 1 in
   let exchange tag ~dest ~src block =
     if dest = me && src = me then block
-    else Machine.sendrecv ctx ~dest ~src ~tag ~bytes:block_bytes block
+    else if Machine.coll_legacy ctx then
+      Machine.sendrecv ctx ~dest ~src ~tag ~bytes:block_bytes block
+    else
+      (* counted and traced as a collective under the selecting modes *)
+      Collectives.ring_shift ctx ~tag ~bytes:block_bytes ~dest ~src block
   in
   (* Work on rotating snapshots: messages travel by reference, and a fast
      processor may mutate its partitions (e.g. through a following
@@ -418,20 +422,38 @@ let to_flat ctx (a : 'a Darray.t) =
   let p = Darray.part a ~rank:me in
   let tag = Machine.tags ctx 1 in
   let local_bytes = Array.length p.Darray.data * Darray.elem_bytes a in
-  ignore
-    (Collectives.gather_to ctx ~tag ~root:0 ~bytes:local_bytes p.Darray.data);
-  let flat =
-    if me = 0 then Darray.to_flat a
-    else [||] (* placeholder; replaced by the broadcast below *)
-  in
   let total_bytes = Index.volume (Darray.gsize a) * Darray.elem_bytes a in
-  let received = Collectives.bcast ctx ~tag ~root:0 ~bytes:total_bytes flat in
-  (* Every processor returns a private snapshot.  The broadcast travels by
-     reference in the simulator, so returning [received] itself would hand
-     the *same* OCaml array to every processor — a caller mutating its
-     "local" copy would silently mutate all the others (and a root mutating
-     its result could still be read by slow receivers).  Landing the
-     gathered data in caller-owned memory is the same copy [broadcast_part]
-     charges, paid symmetrically on every rank. *)
-  Machine.charge_copy ctx ~bytes:total_bytes;
-  Array.copy received
+  if Machine.coll_legacy ctx then begin
+    ignore
+      (Collectives.gather_to ctx ~tag ~root:0 ~bytes:local_bytes
+         p.Darray.data);
+    let flat =
+      if me = 0 then Darray.to_flat a
+      else [||] (* placeholder; replaced by the broadcast below *)
+    in
+    let received =
+      Collectives.bcast ctx ~tag ~root:0 ~bytes:total_bytes flat
+    in
+    (* Every processor returns a private snapshot.  The broadcast travels by
+       reference in the simulator, so returning [received] itself would hand
+       the *same* OCaml array to every processor — a caller mutating its
+       "local" copy would silently mutate all the others (and a root mutating
+       its result could still be read by slow receivers).  Landing the
+       gathered data in caller-owned memory is the same copy
+       [broadcast_part] charges, paid symmetrically on every rank. *)
+    Machine.charge_copy ctx ~bytes:total_bytes;
+    Array.copy received
+  end
+  else begin
+    (* One all-gather instead of gather + broadcast: every rank deposits a
+       snapshot of its partition and rebuilds the global image locally.
+       Snapshots (not live partitions) make the assembly immune to a fast
+       rank mutating its partition after it finishes the collective. *)
+    let parts =
+      Collectives.allgather ctx ~tag ~bytes:local_bytes
+        (Array.copy p.Darray.data)
+    in
+    let flat = Darray.flat_of_snapshots a parts in
+    Machine.charge_copy ctx ~bytes:total_bytes;
+    flat
+  end

@@ -1,7 +1,8 @@
 let seed = 1996
 
-let time_of profile topology f =
-  (Machine.run ~cost:(Cost_model.make profile) ~topology f).Machine.time
+let time_of ?collectives profile topology f =
+  (Machine.run ?collectives ~cost:(Cost_model.make profile) ~topology f)
+    .Machine.time
 
 (* Every table/figure/claim below is regenerated from a batch of
    *independent* simulation cells: each thunk runs one self-contained
@@ -519,3 +520,169 @@ let ablations ?(quick = false) ?(jobs = 1) () =
       ab_time_variant = res.(5);
     };
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Collective algorithm crossovers (ours)                              *)
+
+type coll_cell = {
+  cc_kind : string;
+  cc_topo : string;
+  cc_p : int;
+  cc_bytes : int;
+  cc_algs : (string * float) list;
+  cc_auto : float;
+  cc_chosen : string;
+}
+
+type coll_app_row = { ca_app : string; ca_legacy : float; ca_auto : float }
+
+(* One collective per run: tiny deterministic simulations whose makespans
+   map the (algorithm, payload) cost surfaces the selection layer predicts
+   over.  Independent of --quick on purpose — CI re-checks the recorded
+   values under the quick quota, and a quota must not change them. *)
+let coll_body kind ~bytes ctx =
+  let tag = Machine.tags ctx 1 in
+  match kind with
+  | `Bcast -> ignore (Collectives.bcast ctx ~tag ~root:0 ~bytes 0)
+  | `Allreduce ->
+      ignore (Collectives.allreduce ctx ~tag ~bytes ( + ) (Machine.self ctx))
+  | `Allgather ->
+      ignore (Collectives.allgather ctx ~tag ~bytes (Machine.self ctx))
+  | `Scan ->
+      ignore (Collectives.scan ctx ~tag ~bytes ( + ) (Machine.self ctx))
+  | `Barrier -> Collectives.barrier ctx ~tag
+
+(* "kind[alg]" -> "alg" (the Stats label of the single collective run) *)
+let chosen_of stats =
+  match Stats.coll_alg_totals stats with
+  | (label, _) :: _ -> (
+      match (String.index_opt label '[', String.index_opt label ']') with
+      | Some l, Some r when r > l + 1 -> String.sub label (l + 1) (r - l - 1)
+      | _ -> label)
+  | [] -> "?"
+
+let coll_grid =
+  let sizes = [ 256; 1024; 4096; 16384; 65536 ] in
+  [
+    ("bcast", `Bcast, "mesh4x4", `Mesh44,
+     [ ("tree", Coll_alg.Tree); ("pipeline", Coll_alg.Pipeline);
+       ("vandegeijn", Coll_alg.Vandegeijn) ], sizes);
+    ("bcast", `Bcast, "mesh8x8", `Mesh88,
+     [ ("tree", Coll_alg.Tree); ("pipeline", Coll_alg.Pipeline);
+       ("vandegeijn", Coll_alg.Vandegeijn) ], sizes);
+    ("allreduce", `Allreduce, "torus4x4", `Torus44,
+     [ ("tree", Coll_alg.Tree); ("recdouble", Coll_alg.Recdouble);
+       ("ring", Coll_alg.Ring) ], sizes);
+    ("allreduce", `Allreduce, "mesh8x8", `Mesh88,
+     [ ("tree", Coll_alg.Tree); ("recdouble", Coll_alg.Recdouble);
+       ("ring", Coll_alg.Ring) ], sizes);
+    ("allgather", `Allgather, "mesh4x4", `Mesh44,
+     [ ("recdouble", Coll_alg.Recdouble); ("ring", Coll_alg.Ring) ],
+     [ 64; 1024; 8192 ]);
+    ("scan", `Scan, "mesh4x4", `Mesh44,
+     [ ("tree", Coll_alg.Tree); ("linear", Coll_alg.Linear) ], [ 8; 4096 ]);
+    ("barrier", `Barrier, "mesh8x8", `Mesh88,
+     [ ("tree", Coll_alg.Tree); ("dissemination", Coll_alg.Dissemination) ],
+     [ 0 ]);
+  ]
+
+let collectives_crossover ?(jobs = 1) () =
+  let topo_of = function
+    | `Mesh44 -> Topology.mesh ~width:4 ~height:4
+    | `Mesh88 -> Topology.mesh ~width:8 ~height:8
+    | `Torus44 -> Topology.torus2d ~width:4 ~height:4 ()
+  in
+  let cost = Cost_model.make Cost_model.skil in
+  let cells =
+    List.concat_map
+      (fun (kname, kind, tname, topo_tag, algs, sizes) ->
+        let topology = topo_of topo_tag in
+        List.map
+          (fun bytes ->
+            let thunks =
+              List.map
+                (fun (_, a) () ->
+                  ( (Machine.run ~collectives:(Coll_alg.Force a) ~cost
+                       ~topology (coll_body kind ~bytes))
+                      .Machine.time,
+                    "" ))
+                algs
+              @ [
+                  (fun () ->
+                    let r =
+                      Machine.run ~collectives:Coll_alg.Auto ~cost ~topology
+                        (coll_body kind ~bytes)
+                    in
+                    (r.Machine.time, chosen_of r.Machine.stats));
+                ]
+            in
+            let res = run_cells ~jobs thunks in
+            let nalg = List.length algs in
+            {
+              cc_kind = kname;
+              cc_topo = tname;
+              cc_p = Topology.nprocs topology;
+              cc_bytes = bytes;
+              cc_algs =
+                List.mapi (fun i (n, _) -> (n, fst res.(i))) algs;
+              cc_auto = fst res.(nalg);
+              cc_chosen = snd res.(nalg);
+            })
+          sizes)
+      coll_grid
+  in
+  (* end-to-end: the paper's applications, legacy trees vs auto-selected
+     algorithms.  Plain gauss is communication-matched (its pivot-row
+     broadcasts sit below every crossover, so auto picks the trees and
+     ties); pivoting gauss hits the small-allreduce recdouble win every
+     iteration; Cannon's gathered result hits the allgather-vs-
+     gather+broadcast win on a 32 KiB payload. *)
+  let mesh44 = Topology.mesh ~width:4 ~height:4 in
+  let torus44 = Topology.torus2d ~width:4 ~height:4 () in
+  let gauss ctx =
+    let n = 64 in
+    Skeletons.destroy ctx
+      (Gauss.run ctx ~n ~matrix:(Workload.gauss_matrix ~seed ~n))
+  in
+  let gauss_pivot ctx =
+    let n = 64 in
+    Skeletons.destroy ctx
+      (Gauss.run ~pivoting:Gauss.Partial ctx ~n
+         ~matrix:(Workload.gauss_matrix_wild ~seed ~n))
+  in
+  let matmul_global ctx =
+    let n = 64 in
+    let a = Workload.float_matrix ~seed
+    and b = Workload.float_matrix ~seed:(seed + 9) in
+    ignore (Parix_c.matmul_global ctx ~n ~a ~b)
+  in
+  let apps =
+    [
+      ("gauss-mesh4x4-n64", mesh44, Cost_model.skil, gauss);
+      ("gauss-pivot-mesh4x4-n64", mesh44, Cost_model.skil, gauss_pivot);
+      ("matmul-global-torus4x4-n64", torus44, Cost_model.parix_c,
+       matmul_global);
+    ]
+  in
+  let app_thunks =
+    List.concat_map
+      (fun (_, topology, profile, f) ->
+        [
+          (fun () -> (time_of profile topology f, ""));
+          (fun () ->
+            (time_of ~collectives:Coll_alg.Auto profile topology f, ""));
+        ])
+      apps
+  in
+  let app_res = run_cells ~jobs app_thunks in
+  let app_rows =
+    List.mapi
+      (fun i (name, _, _, _) ->
+        {
+          ca_app = name;
+          ca_legacy = fst app_res.(2 * i);
+          ca_auto = fst app_res.((2 * i) + 1);
+        })
+      apps
+  in
+  (cells, app_rows)

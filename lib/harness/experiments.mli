@@ -114,8 +114,41 @@ type ablation = {
 
 val ablations : ?quick:bool -> ?jobs:int -> unit -> ablation list
 
+(** {1 Collective algorithm crossovers (ours)} *)
+
+type coll_cell = {
+  cc_kind : string;  (** "bcast" / "allreduce" / "allgather" / "scan" / "barrier" *)
+  cc_topo : string;  (** "mesh4x4" / "mesh8x8" / "torus4x4" *)
+  cc_p : int;
+  cc_bytes : int;
+  cc_algs : (string * float) list;  (** makespan under each forced algorithm *)
+  cc_auto : float;  (** makespan under [Auto] selection *)
+  cc_chosen : string;  (** the algorithm [Auto] picked *)
+}
+
+type coll_app_row = {
+  ca_app : string;
+  ca_legacy : float;  (** makespan under the seed's binomial trees *)
+  ca_auto : float;  (** makespan under [Auto] selection *)
+}
+
+val collectives_crossover :
+  ?jobs:int -> unit -> coll_cell list * coll_app_row list
+(** Map the collective-algorithm cost surfaces: one collective per run,
+    each (kind, topology, bytes) grid point simulated once per candidate
+    algorithm plus once under [Auto] — the data behind the selection
+    layer's crossovers (e.g. tree -> pipelined broadcast as payloads grow).
+    The second list compares two full applications end-to-end, legacy
+    trees vs [Auto].  Cells are deterministic simulated makespans and do
+    not shrink under any quick/quota setting. *)
+
 (** {1 Shared helpers} *)
 
 val time_of :
-  Cost_model.profile -> Topology.t -> (Machine.ctx -> 'a) -> float
-(** Makespan of one SPMD run under a language profile. *)
+  ?collectives:Coll_alg.mode ->
+  Cost_model.profile ->
+  Topology.t ->
+  (Machine.ctx -> 'a) ->
+  float
+(** Makespan of one SPMD run under a language profile.  [collectives]
+    (default [Legacy]) is handed to {!Machine.run}. *)

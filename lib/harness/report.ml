@@ -245,6 +245,61 @@ let print_scaling ?(jobs = 1) ~quick () =
   print_newline ()
 
 (* machine-readable exports of the reproduced evaluation *)
+let print_collectives ?(jobs = 1) () =
+  print_endline "== Collective algorithm crossovers (ours) ==";
+  print_endline
+    "   (deterministic simulated makespans of one collective per run;\n\
+    \    auto picks per call from the topology/size cost model)";
+  let cells, apps = Experiments.collectives_crossover ~jobs () in
+  let ms t = Printf.sprintf "%.3f" (t *. 1e3) in
+  let body =
+    List.map
+      (fun c ->
+        let best_name, best_t =
+          List.fold_left
+            (fun (bn, bt) (n, t) -> if t < bt then (n, t) else (bn, bt))
+            ("", infinity) c.Experiments.cc_algs
+        in
+        [
+          c.Experiments.cc_kind;
+          c.Experiments.cc_topo;
+          string_of_int c.Experiments.cc_p;
+          string_of_int c.Experiments.cc_bytes;
+          String.concat "  "
+            (List.map
+               (fun (n, t) -> Printf.sprintf "%s %s" n (ms t))
+               c.Experiments.cc_algs);
+          Printf.sprintf "%s %s" best_name (ms best_t);
+          ms c.Experiments.cc_auto;
+          c.Experiments.cc_chosen;
+        ])
+      cells
+  in
+  print_string
+    (Table.render
+       ~aligns:[ Table.Left; Table.Left ]
+       ~headers:
+         [ "kind"; "topo"; "p"; "bytes"; "per-algorithm (ms)"; "best"; "auto (ms)"; "chosen" ]
+       body);
+  print_newline ();
+  let app_body =
+    List.map
+      (fun r ->
+        [
+          r.Experiments.ca_app;
+          fmt r.Experiments.ca_legacy;
+          fmt r.Experiments.ca_auto;
+          ratio (r.Experiments.ca_legacy /. r.Experiments.ca_auto);
+        ])
+      apps
+  in
+  print_string
+    (Table.render
+       ~aligns:[ Table.Left ]
+       ~headers:[ "application"; "legacy trees(s)"; "auto(s)"; "speedup" ]
+       app_body);
+  print_newline ()
+
 let write_csvs ~dir t1 t2 =
   let file name render =
     let oc = open_out (Filename.concat dir name) in

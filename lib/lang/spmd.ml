@@ -1,7 +1,7 @@
 type outcome = { value : Value.t; printed : string }
 type engine = [ `Ast | `Compiled ]
 
-let run ?cost ?trace ?faults ?reliable ?(instantiate = true)
+let run ?cost ?trace ?faults ?reliable ?collectives ?(instantiate = true)
     ?(engine = `Compiled) ?(specialize = true) ~topology program ~entry ~args =
   let tyenv = Typecheck.check program in
   let program, tyenv =
@@ -13,7 +13,8 @@ let run ?cost ?trace ?faults ?reliable ?(instantiate = true)
   in
   match engine with
   | `Ast ->
-      Machine.run ?cost ?trace ?faults ?reliable ~topology (fun ctx ->
+      Machine.run ?cost ?trace ?faults ?reliable ?collectives ~topology
+        (fun ctx ->
           let st = Interp.make ~backend:(`Par ctx) ~tyenv program in
           let value = Interp.call st entry args in
           { value; printed = Interp.output st })
@@ -21,12 +22,13 @@ let run ?cost ?trace ?faults ?reliable ?(instantiate = true)
       (* translate once; the closure code is shared by all processors,
          per-processor state is handed in at call time *)
       let compiled = Compile.program ~tyenv ~specialize program in
-      Machine.run ?cost ?trace ?faults ?reliable ~topology (fun ctx ->
+      Machine.run ?cost ?trace ?faults ?reliable ?collectives ~topology
+        (fun ctx ->
           let st = Interp.make ~backend:(`Par ctx) ~tyenv program in
           let value = Compile.call compiled st entry args in
           { value; printed = Interp.output st })
 
-let run_source ?cost ?trace ?faults ?reliable ?instantiate ?engine ?specialize
-    ~topology source ~entry ~args =
-  run ?cost ?trace ?faults ?reliable ?instantiate ?engine ?specialize
-    ~topology (Parser.parse source) ~entry ~args
+let run_source ?cost ?trace ?faults ?reliable ?collectives ?instantiate
+    ?engine ?specialize ~topology source ~entry ~args =
+  run ?cost ?trace ?faults ?reliable ?collectives ?instantiate ?engine
+    ?specialize ~topology (Parser.parse source) ~entry ~args

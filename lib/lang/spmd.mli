@@ -19,6 +19,7 @@ val run :
   ?trace:bool ->
   ?faults:Fault.plan ->
   ?reliable:bool ->
+  ?collectives:Coll_alg.mode ->
   ?instantiate:bool ->
   ?engine:engine ->
   ?specialize:bool ->
@@ -43,13 +44,19 @@ val run :
     reliable transport that lets every deterministic-order program (the
     whole [examples/skil] corpus) return its fault-free values under
     message loss.  Without them, behaviour is bit-identical to a build
-    without fault injection. *)
+    without fault injection.
+
+    [collectives] (default [Legacy]) picks the collective-algorithm mode
+    (see {!Machine.run}): [Legacy] keeps the seed's binomial trees and is
+    byte-identical to historical output; [Auto] selects per call from the
+    cost model; [Force _] pins one algorithm. *)
 
 val run_source :
   ?cost:Cost_model.t ->
   ?trace:bool ->
   ?faults:Fault.plan ->
   ?reliable:bool ->
+  ?collectives:Coll_alg.mode ->
   ?instantiate:bool ->
   ?engine:engine ->
   ?specialize:bool ->

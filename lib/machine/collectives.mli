@@ -1,14 +1,28 @@
-(** Collective operations built from point-to-point messages along a virtual
-    binomial tree, as in the paper's [array_fold] ("performed along the edges
-    of a virtual tree topology ... broadcasted from the root along the tree
-    edges to all other processors").
+(** Collective operations built from point-to-point messages.
 
-    Every collective must be called by all processors of the machine with the
-    same [tag] and compatible arguments.  [bytes] is the simulated wire size
-    of one payload. *)
+    Two code paths, dispatched on the machine's {!Coll_alg.mode}:
+
+    - [Legacy] (the default): the seed's binomial-tree implementations, as
+      in the paper's [array_fold] ("performed along the edges of a virtual
+      tree topology ... broadcasted from the root along the tree edges to
+      all other processors").  Runs are byte-identical to the historical
+      binary.
+
+    - [Auto] / [Force _]: a library of algorithms (pipelined broadcast,
+      van de Geijn scatter+allgather, recursive doubling, chunked rings,
+      Bruck allgather, pairwise exchange, dissemination barrier, binomial
+      scan), one picked per call by {!Coll_alg.select} from the machine's
+      topology, processor count and payload size.  Simulated time is
+      charged by running the chosen message pattern with honest byte
+      counts; values are combined out-of-band with one canonical
+      bracketing, so every algorithm returns bit-identical values.
+
+    Every collective must be called by all processors of the machine with
+    the same [tag] and compatible arguments.  [bytes] is the simulated wire
+    size of one payload. *)
 
 val bcast : Machine.ctx -> tag:int -> root:int -> bytes:int -> 'a -> 'a
-(** Tree broadcast of [root]'s value; every processor returns it.  The value
+(** Broadcast of [root]'s value; every processor returns it.  The value
     argument of non-root processors is ignored. *)
 
 val reduce :
@@ -19,27 +33,35 @@ val reduce :
   ('a -> 'a -> 'a) ->
   'a ->
   'a
-(** Tree reduction; only [root]'s return value is meaningful.  [f] should be
+(** Reduction; only [root]'s return value is meaningful.  [f] should be
     associative and commutative (the paper makes the same demand of
     [array_fold]'s folding function). *)
 
 val allreduce :
   Machine.ctx -> tag:int -> bytes:int -> ('a -> 'a -> 'a) -> 'a -> 'a
-(** {!reduce} to processor 0 followed by {!bcast}; every processor returns
-    the combined value. *)
+(** Combine every processor's value; every processor returns the result. *)
 
 val barrier : Machine.ctx -> tag:int -> unit
-(** All processors synchronize (zero-byte allreduce). *)
+(** All processors synchronize. *)
 
 val scan :
   Machine.ctx -> tag:int -> bytes:int -> ('a -> 'a -> 'a) -> 'a -> 'a
 (** Inclusive prefix combine in rank order: processor [i] returns
-    [f v0 (f v1 (... vi))].  Linear pipeline (used by the block-cyclic
-    redistribution extension). *)
+    [f v0 (f v1 (... vi))] (bracketed as a left fold).  Used by the
+    block-cyclic redistribution extension. *)
 
 val gather_to : Machine.ctx -> tag:int -> root:int -> bytes:int -> 'a -> 'a array option
 (** Every processor contributes one value; [root] returns [Some arr] with
     [arr.(i)] from processor [i], others return [None]. *)
+
+val allgather : Machine.ctx -> tag:int -> bytes:int -> 'a -> 'a array
+(** Every processor contributes one value of wire size [bytes] and returns
+    a fresh array with [arr.(i)] from processor [i]. *)
+
+val alltoall : Machine.ctx -> tag:int -> bytes:int -> 'a array -> 'a array
+(** Personalized exchange: [vs.(j)] goes to processor [j]; returns a fresh
+    array whose element [i] came from processor [i]'s [vs].  [vs] must have
+    one element per processor.  [bytes] is the wire size of one element. *)
 
 val ring_shift :
   Machine.ctx -> tag:int -> bytes:int -> dest:int -> src:int -> 'a -> 'a

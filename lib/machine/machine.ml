@@ -63,6 +63,12 @@ type t = {
   faults_on : bool; (* a plan was given *)
   reliable : bool; (* Reliable transport mode *)
   rto_fixed : float; (* retransmission timeout, bytes-independent part *)
+  (* collective-algorithm selection (Coll_alg): Legacy keeps the seed's
+     binomial-tree code paths untouched; the net summary is only built for
+     the algorithm-selecting modes *)
+  coll_mode : Coll_alg.mode;
+  coll_legacy : bool; (* cached [coll_mode = Legacy] *)
+  coll_net : Coll_alg.net option; (* Some iff not coll_legacy *)
 }
 
 type ctx = { m : t; p : proc }
@@ -95,6 +101,16 @@ let cost ctx = ctx.m.cost
 let profile ctx = ctx.m.cost.Cost_model.profile
 let clock ctx = ctx.p.clock
 let checkpoint_default ctx = ctx.m.faults_on && ctx.m.fplan.Fault.checkpoint
+let coll_mode ctx = ctx.m.coll_mode
+let coll_legacy ctx = ctx.m.coll_legacy
+
+let coll_net ctx =
+  match ctx.m.coll_net with
+  | Some n -> n
+  | None -> invalid_arg "Machine.coll_net: Legacy collectives mode"
+
+let record_collective ctx ~name ~bytes =
+  Stats.count_collective ctx.p.stats ~name ~bytes
 
 (* An injected transient stall freezes the processor at its first
    clock-advancing action at or after the scheduled time.  Checked (behind
@@ -594,7 +610,7 @@ let describe_blocked (p : proc) =
   | None -> Printf.sprintf "blocked (clock %.6f s)" p.clock
 
 let run ?(cost = Cost_model.default) ?(trace = false) ?faults
-    ?(reliable = false) ~topology f =
+    ?(reliable = false) ?(collectives = Coll_alg.Legacy) ~topology f =
   let n = Topology.nprocs topology in
   let sched = Scheduler.create () in
   let params = cost.Cost_model.params in
@@ -669,6 +685,16 @@ let run ?(cost = Cost_model.default) ?(trace = false) ?faults
       faults_on;
       reliable;
       rto_fixed;
+      coll_mode = collectives;
+      coll_legacy = (collectives = Coll_alg.Legacy);
+      coll_net =
+        (if collectives = Coll_alg.Legacy then None
+         else
+           Some
+             (Coll_alg.net_of topology ~latency:c_latency ~per_hop:c_per_hop
+                ~per_byte:(cf *. params.Cost_model.per_byte)
+                ~send_ovh:(cf *. params.Cost_model.send_overhead)
+                ~recv_ovh:(cf *. params.Cost_model.recv_overhead)));
     }
   in
   let stats =

@@ -36,6 +36,7 @@ val run :
   ?trace:bool ->
   ?faults:Fault.plan ->
   ?reliable:bool ->
+  ?collectives:Coll_alg.mode ->
   topology:Topology.t ->
   (ctx -> 'r) ->
   'r result
@@ -62,7 +63,12 @@ val run :
     reorder arrivals.)
 
     @raise Stalled if the program deadlocks or starves (see above).
-    Exceptions raised by the program propagate. *)
+    Exceptions raised by the program propagate.
+
+    [collectives] (default {!Coll_alg.Legacy}) picks the collective-algorithm
+    mode for the run: [Legacy] keeps the seed's binomial-tree code paths
+    (bit-identical output); [Auto] selects per call from the cost model;
+    [Force a] pins algorithm [a] wherever it applies. *)
 
 (** {1 Processor context} *)
 
@@ -72,6 +78,20 @@ val topology : ctx -> Topology.t
 val cost : ctx -> Cost_model.t
 val profile : ctx -> Cost_model.profile
 val clock : ctx -> float
+
+val coll_mode : ctx -> Coll_alg.mode
+(** The run's collective-algorithm mode (see [run]'s [collectives]). *)
+
+val coll_legacy : ctx -> bool
+(** [coll_mode ctx = Legacy], cached. *)
+
+val coll_net : ctx -> Coll_alg.net
+(** The topology/cost summary the selection layer predicts from.  Only
+    built for non-Legacy runs; raises [Invalid_argument] under Legacy. *)
+
+val record_collective : ctx -> name:string -> bytes:int -> unit
+(** Count one collective call ([name] is the ["kind[algorithm]"] label) in
+    this processor's {!Stats.proc}. *)
 
 val compute : ctx -> float -> unit
 (** Charge raw seconds of sequential work (no profile factor applied). *)

@@ -14,6 +14,12 @@ type proc = {
   mutable acks_sent : int;
   mutable recoveries : int;
   mutable stall_time : float;
+  (* collective counters — recorded only by the algorithm-selecting
+     collectives (non-Legacy modes), so Legacy runs print exactly the
+     historical summary line *)
+  mutable coll_calls : int;
+  mutable coll_bytes : int;
+  mutable coll_algs : (string * int) list; (* "bcast[pipeline]" -> calls *)
 }
 
 type t = { procs : proc array; mutable makespan : float }
@@ -32,7 +38,20 @@ let fresh_proc () =
     acks_sent = 0;
     recoveries = 0;
     stall_time = 0.0;
+    coll_calls = 0;
+    coll_bytes = 0;
+    coll_algs = [];
   }
+
+let count_collective p ~name ~bytes =
+  p.coll_calls <- p.coll_calls + 1;
+  p.coll_bytes <- p.coll_bytes + bytes;
+  let rec bump = function
+    | [] -> [ (name, 1) ]
+    | (n, c) :: rest when n = name -> (n, c + 1) :: rest
+    | entry :: rest -> entry :: bump rest
+  in
+  p.coll_algs <- bump p.coll_algs
 
 let create n = { procs = Array.init n (fun _ -> fresh_proc ()); makespan = 0.0 }
 let proc t i = t.procs.(i)
@@ -47,6 +66,24 @@ let total_recoveries t = sum_by (fun p -> p.recoveries) t
 
 let total_stall t =
   Array.fold_left (fun acc p -> acc +. p.stall_time) 0.0 t.procs
+
+let total_coll_calls t = sum_by (fun p -> p.coll_calls) t
+let total_coll_bytes t = sum_by (fun p -> p.coll_bytes) t
+
+(* Aggregate per-(kind, algorithm) call counts across processors, sorted by
+   label so the summary line is deterministic. *)
+let coll_alg_totals t =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun p ->
+      List.iter
+        (fun (name, c) ->
+          Hashtbl.replace tbl name
+            (c + Option.value ~default:0 (Hashtbl.find_opt tbl name)))
+        p.coll_algs)
+    t.procs;
+  Hashtbl.fold (fun name c acc -> (name, c) :: acc) tbl []
+  |> List.sort compare
 
 let max_compute t =
   Array.fold_left (fun acc p -> Float.max acc p.compute_time) 0.0 t.procs
@@ -69,4 +106,16 @@ let pp_summary ppf t =
   if dropped > 0 || retried > 0 || acks > 0 || recov > 0 || stall > 0.0 then
     Format.fprintf ppf
       " | faults: %d dropped, %d retried, %d acks, %d recoveries, %.4f s stalled"
-      dropped retried acks recov stall
+      dropped retried acks recov stall;
+  (* likewise printed only when the algorithm-selecting collectives ran *)
+  let coll = total_coll_calls t in
+  if coll > 0 then begin
+    Format.fprintf ppf " | collectives: %d calls, %d payload bytes" coll
+      (total_coll_bytes t);
+    match coll_alg_totals t with
+    | [] -> ()
+    | algs ->
+        Format.fprintf ppf " (%s)"
+          (String.concat ", "
+             (List.map (fun (n, c) -> Printf.sprintf "%s x%d" n c) algs))
+  end

@@ -18,6 +18,12 @@ type proc = {
       (** checkpoint-restore re-executions after fail-stop crashes *)
   mutable stall_time : float;
       (** seconds lost to injected transient processor stalls *)
+  mutable coll_calls : int;
+      (** collective operations issued through the algorithm-selecting
+          (non-Legacy) code paths *)
+  mutable coll_bytes : int;  (** their payload bytes (pre-wire sizes) *)
+  mutable coll_algs : (string * int) list;
+      (** call count per ["kind[algorithm]"] label *)
 }
 (** The five fault counters are all zero in fault-free runs, and
     {!pp_summary} omits them when zero — fault-free output is byte-identical
@@ -38,6 +44,13 @@ val total_retried : t -> int
 val total_acks : t -> int
 val total_recoveries : t -> int
 val total_stall : t -> float
+val total_coll_calls : t -> int
+val total_coll_bytes : t -> int
+
+val coll_alg_totals : t -> (string * int) list
+(** Aggregate call count per ["kind[algorithm]"] label, sorted. *)
+
+val count_collective : proc -> name:string -> bytes:int -> unit
 val max_compute : t -> float
 val avg_comm_wait : t -> float
 val pp_summary : Format.formatter -> t -> unit

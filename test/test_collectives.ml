@@ -131,6 +131,172 @@ let test_reduce_stages_logarithmic () =
     "log stages" true
     (r.Machine.values.(0) < 5.0 *. per_stage)
 
+(* ------------------------------------------------------------------ *)
+(* Algorithm library: every mode must return the values the seed's      *)
+(* binomial trees return, bit-identically (floats included — the        *)
+(* value plane combines deposits in the legacy bracket order, so even   *)
+(* non-associative rounding cannot diverge).                            *)
+
+(* every selectable mode except Legacy itself *)
+let modes =
+  List.filter_map
+    (fun s ->
+      match Coll_alg.mode_of_string s with
+      | Ok Coll_alg.Legacy -> None
+      | Ok m -> Some (s, m)
+      | Error e -> failwith e)
+    Coll_alg.mode_names
+
+(* one run exercising every collective; reduce is masked to the root
+   because only its value is meaningful there *)
+let exercise ctx =
+  let me = Machine.self ctx in
+  let p = Machine.nprocs ctx in
+  let topo = Machine.topology ctx in
+  let x = float_of_int ((me * 37) mod 19) +. (1.0 /. 3.0) in
+  let b = Collectives.bcast ctx ~tag:0 ~root:(p / 2) ~bytes:64 x in
+  let root = p - 1 in
+  let r = Collectives.reduce ctx ~tag:1 ~root ~bytes:256 ( +. ) x in
+  let r = if me = root then r else 0.0 in
+  let ar = Collectives.allreduce ctx ~tag:2 ~bytes:2048 ( +. ) (x *. 1.5) in
+  let sc = Collectives.scan ctx ~tag:3 ~bytes:32 ( +. ) x in
+  let g = Collectives.gather_to ctx ~tag:4 ~root:0 ~bytes:128 (me, x) in
+  let ag = Collectives.allgather ctx ~tag:5 ~bytes:512 (x, me) in
+  let at =
+    Collectives.alltoall ctx ~tag:6 ~bytes:64
+      (Array.init p (fun j -> (me * p) + j))
+  in
+  Collectives.barrier ctx ~tag:7;
+  let rs =
+    Collectives.ring_shift ctx ~tag:8 ~bytes:16
+      ~dest:(Topology.ring_next topo me)
+      ~src:(Topology.ring_prev topo me)
+      me
+  in
+  (b, r, ar, sc, g, ag, at, rs)
+
+let topologies =
+  List.map (fun p -> (Printf.sprintf "mesh%dx1" p, Topology.mesh ~width:p ~height:1)) sizes
+  @ [
+      ("mesh4x4", Topology.mesh ~width:4 ~height:4);
+      ("torus4x4", Topology.torus2d ~width:4 ~height:4 ());
+      ("ring7", Topology.ring ~nprocs:7);
+    ]
+
+let test_modes_match_legacy () =
+  List.iter
+    (fun (tname, topology) ->
+      let reference = (Machine.run ~topology exercise).Machine.values in
+      List.iter
+        (fun (mname, collectives) ->
+          let got = (Machine.run ~collectives ~topology exercise).Machine.values in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s = legacy on %s" mname tname)
+            true (got = reference))
+        modes)
+    topologies
+
+(* the same identity under an adversarial network: drops, duplicates and
+   latency spikes with the reliable transport recovering — values must
+   still match the seed's fault-free trees, whatever the algorithm *)
+let prop_modes_match_legacy_under_faults (topology, seed) =
+  let faults =
+    {
+      (Fault.none ~seed) with
+      Fault.link =
+        {
+          Fault.no_link_faults with
+          Fault.drop = 0.08;
+          Fault.dup = 0.05;
+          Fault.delay = 0.1;
+          Fault.delay_factor = 4.0;
+        };
+    }
+  in
+  let reference = (Machine.run ~topology exercise).Machine.values in
+  List.for_all
+    (fun (_, collectives) ->
+      (Machine.run ~collectives ~faults ~reliable:true ~topology exercise)
+        .Machine.values = reference)
+    (("tree", Coll_alg.Legacy) :: modes)
+
+let gen_faulty_topology =
+  let open QCheck2.Gen in
+  let gen_topo =
+    oneof
+      [
+        (int_range 1 16 >|= fun p -> Topology.mesh ~width:p ~height:1);
+        ( pair (int_range 1 4) (int_range 1 4) >|= fun (w, h) ->
+          Topology.mesh ~width:w ~height:h );
+        ( pair (int_range 2 4) (int_range 2 4) >|= fun (w, h) ->
+          Topology.torus2d ~width:w ~height:h () );
+        (int_range 2 13 >|= fun p -> Topology.ring ~nprocs:p);
+      ]
+  in
+  pair gen_topo (int_range 0 1000)
+
+(* ------------------------------------------------------------------ *)
+(* Charged operations: the new algorithms must not only return the     *)
+(* right values — they must charge the message counts and clocks their *)
+(* patterns imply.                                                     *)
+
+let run16 ?collectives f =
+  Machine.run ?collectives ~topology:(Topology.mesh ~width:4 ~height:4) f
+
+let test_dissemination_barrier_charges () =
+  let barrier ctx = Collectives.barrier ctx ~tag:0 in
+  let diss = run16 ~collectives:(Coll_alg.Force Coll_alg.Dissemination) barrier in
+  let legacy = run16 barrier in
+  (* p * ceil(log2 p) pairwise messages at p = 16 *)
+  Alcotest.(check int) "dissemination msgs" (16 * 4)
+    (Stats.total_msgs diss.Machine.stats);
+  (* reduce-then-broadcast costs 2 (p - 1) messages over twice the depth *)
+  Alcotest.(check int) "legacy msgs" 30 (Stats.total_msgs legacy.Machine.stats);
+  Alcotest.(check bool) "dissemination is faster" true
+    (diss.Machine.time < legacy.Machine.time)
+
+let test_binomial_scan_charges () =
+  let scan ctx =
+    Collectives.scan ctx ~tag:0 ~bytes:512 ( + ) (Machine.self ctx + 1)
+  in
+  let tree = run16 ~collectives:(Coll_alg.Force Coll_alg.Tree) scan in
+  let linear = run16 ~collectives:(Coll_alg.Force Coll_alg.Linear) scan in
+  (* Hillis-Steele round k sends p - 2^k messages: 15 + 14 + 12 + 8 *)
+  Alcotest.(check int) "binomial scan msgs" 49
+    (Stats.total_msgs tree.Machine.stats);
+  Alcotest.(check int) "linear scan msgs" 15
+    (Stats.total_msgs linear.Machine.stats);
+  Alcotest.(check bool) "binomial scan is faster" true
+    (tree.Machine.time < linear.Machine.time);
+  Alcotest.(check bool) "same prefixes" true
+    (tree.Machine.values = linear.Machine.values)
+
+let test_collective_stats_counted () =
+  let body ctx =
+    let v = Collectives.allreduce ctx ~tag:0 ~bytes:8192 ( + ) 1 in
+    ignore (Collectives.bcast ctx ~tag:1 ~root:0 ~bytes:4096 v)
+  in
+  let legacy = run16 body in
+  let auto = run16 ~collectives:Coll_alg.Auto body in
+  (* legacy paths predate the counters and stay byte-identical to the seed *)
+  Alcotest.(check int) "legacy counts nothing" 0
+    (Stats.total_coll_calls legacy.Machine.stats);
+  Alcotest.(check int) "auto counts both collectives" 32
+    (Stats.total_coll_calls auto.Machine.stats);
+  Alcotest.(check bool) "payload bytes counted" true
+    (Stats.total_coll_bytes auto.Machine.stats >= 16 * (8192 + 4096));
+  let labels = List.map fst (Stats.coll_alg_totals auto.Machine.stats) in
+  List.iter
+    (fun l ->
+      Alcotest.(check bool)
+        (Printf.sprintf "label %s is kind[alg]" l)
+        true
+        (String.contains l '[' && String.contains l ']'))
+    labels
+
+let qt ?(count = 25) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
 let suite =
   [
     ( "collectives",
@@ -145,5 +311,15 @@ let suite =
         Alcotest.test_case "ring shift" `Quick test_ring_shift;
         Alcotest.test_case "reduce is logarithmic" `Quick
           test_reduce_stages_logarithmic;
+        Alcotest.test_case "every algorithm matches legacy values" `Quick
+          test_modes_match_legacy;
+        Alcotest.test_case "dissemination barrier charged ops" `Quick
+          test_dissemination_barrier_charges;
+        Alcotest.test_case "binomial scan charged ops" `Quick
+          test_binomial_scan_charges;
+        Alcotest.test_case "collective stats counted" `Quick
+          test_collective_stats_counted;
+        qt "algorithms match legacy under faults + reliable"
+          gen_faulty_topology prop_modes_match_legacy_under_faults;
       ] );
   ]
