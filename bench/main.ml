@@ -7,7 +7,7 @@
                    [--check FILE] [--threshold X]
                    [--trace-out FILE] [--profile]
                    [table1|table2|figure1|claim51|claim52|ablations|
-                    scaling|degradation|collectives|bechamel|all]...
+                    scaling|degradation|collectives|optimize|bechamel|all]...
 
    [--check FILE] turns the bechamel run into a regression guard: every
    cell present in the baseline JSON (a previous --json dump, e.g.
@@ -22,6 +22,26 @@
    only run when requested explicitly.  [--jobs N] farms the independent
    simulation cells out to N domains (default: all cores); the printed
    tables are bit-identical whatever N is. *)
+
+(* ------------------------------------------------------------------ *)
+
+let read path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let skil_source name =
+  match
+    List.find_opt Sys.file_exists
+      [
+        "../examples/skil/" ^ name;
+        "examples/skil/" ^ name;
+        "../../../examples/skil/" ^ name;
+      ]
+  with
+  | Some p -> read p
+  | None -> failwith ("cannot find examples/skil/" ^ name)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: wall-clock cost of regenerating one
@@ -85,24 +105,6 @@ let bechamel_tests () =
   in
   (* the .skil front end: full parse → typecheck → instantiate → simulate
      pipeline under each execution engine (A/B of Spmd's ?engine) *)
-  let read path =
-    let ic = open_in_bin path in
-    let s = really_input_string ic (in_channel_length ic) in
-    close_in ic;
-    s
-  in
-  let skil_source name =
-    match
-      List.find_opt Sys.file_exists
-        [
-          "../examples/skil/" ^ name;
-          "examples/skil/" ^ name;
-          "../../../examples/skil/" ^ name;
-        ]
-    with
-    | Some p -> read p
-    | None -> failwith ("cannot find examples/skil/" ^ name)
-  in
   let gauss_src = skil_source "gauss.skil" in
   let shpaths_src = skil_source "shpaths.skil" in
   let mesh21 = Topology.mesh ~width:2 ~height:1 in
@@ -138,6 +140,114 @@ let bechamel_tests () =
     Test.make ~name:"skil_frontend(shpaths-n16-compiled)"
       (Staged.stage (fun () -> ignore (shpaths_skil `Compiled ())));
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Skeleton-fusion cells: every corpus app simulated under
+   --optimize none and --optimize fuse.  Simulated makespans and charged
+   operations, fully deterministic (identical under any quota), so a
+   baseline check pins them exactly. *)
+
+type opt_cell = {
+  oc_app : string;
+  oc_none_ms : float;
+  oc_fuse_ms : float;
+  oc_none_ops : int;
+  oc_fuse_ops : int;
+  oc_identical : bool;  (* per-processor printed output and values agree *)
+}
+
+let optimize_apps =
+  [
+    ("gauss-n16", "gauss.skil", "gauss", [ Value.VInt 16 ], `Mesh (2, 1));
+    ("shpaths-n16", "shpaths.skil", "shpaths", [ Value.VInt 16 ], `Torus (2, 2));
+    ("matmul-n8", "matmul.skil", "matmul", [ Value.VInt 8 ], `Torus (2, 2));
+    ("jacobi-n16", "jacobi.skil", "jacobi", [ Value.VInt 16 ], `Mesh (2, 2));
+  ]
+
+(* fusable pipelines the optimizer must strictly improve (ISSUE acceptance) *)
+let optimize_must_improve = [ "gauss-n16"; "matmul-n8"; "jacobi-n16" ]
+
+let optimize_cells () =
+  List.map
+    (fun (app, file, entry, args, topo) ->
+      let topology =
+        match topo with
+        | `Mesh (w, h) -> Topology.mesh ~width:w ~height:h
+        | `Torus (w, h) -> Topology.torus2d ~width:w ~height:h ()
+      in
+      let src = skil_source file in
+      let go optimize =
+        Spmd.run_source ~optimize ~trace:true ~topology src ~entry ~args
+      in
+      let ops r =
+        let nprocs = Array.length r.Machine.values in
+        let p =
+          Profile.of_trace r.Machine.trace ~nprocs ~makespan:r.Machine.time
+        in
+        List.fold_left
+          (fun acc s ->
+            acc + s.Profile.ops_kernel + s.Profile.ops_mapped
+            + s.Profile.ops_scalar)
+          0 p.Profile.spans
+      in
+      let rn = go `None and rf = go `Fuse in
+      let identical =
+        Array.length rn.Machine.values = Array.length rf.Machine.values
+        && Array.for_all2
+             (fun a b ->
+               a.Spmd.printed = b.Spmd.printed
+               && Value.describe a.Spmd.value = Value.describe b.Spmd.value)
+             rn.Machine.values rf.Machine.values
+      in
+      {
+        oc_app = app;
+        oc_none_ms = rn.Machine.time *. 1e3;
+        oc_fuse_ms = rf.Machine.time *. 1e3;
+        oc_none_ops = ops rn;
+        oc_fuse_ops = ops rf;
+        oc_identical = identical;
+      })
+    optimize_apps
+
+let print_optimize cells =
+  print_endline
+    "== Skeleton fusion: simulated makespan and charged ops, none vs fuse ==";
+  Printf.printf "%-14s %12s %12s %10s %10s %8s\n" "app" "none (ms)"
+    "fuse (ms)" "none ops" "fuse ops" "ops";
+  List.iter
+    (fun c ->
+      Printf.printf "%-14s %12.4f %12.4f %10d %10d %7.1f%%\n" c.oc_app
+        c.oc_none_ms c.oc_fuse_ms c.oc_none_ops c.oc_fuse_ops
+        (100.
+        *. float_of_int (c.oc_none_ops - c.oc_fuse_ops)
+        /. float_of_int (max 1 c.oc_none_ops)))
+    cells;
+  print_newline ()
+
+(* Structural guarantees of the fusion pass, checked on this run's
+   deterministic cells: fused output identical everywhere, never more
+   charged ops or a longer makespan anywhere, and strictly fewer ops on
+   the apps with fusable pipelines. *)
+let check_optimize cells =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  List.iter
+    (fun c ->
+      if not c.oc_identical then
+        fail "optimize: fused %s output differs from unoptimized" c.oc_app;
+      if c.oc_fuse_ops > c.oc_none_ops then
+        fail "optimize: fuse charges more ops on %s (%d vs %d)" c.oc_app
+          c.oc_fuse_ops c.oc_none_ops;
+      if c.oc_fuse_ms > c.oc_none_ms then
+        fail "optimize: fuse makespan worse on %s (%.4f vs %.4f ms)" c.oc_app
+          c.oc_fuse_ms c.oc_none_ms;
+      if List.mem c.oc_app optimize_must_improve
+         && c.oc_fuse_ops >= c.oc_none_ops
+      then
+        fail "optimize: fuse must charge strictly fewer ops on %s (%d vs %d)"
+          c.oc_app c.oc_fuse_ops c.oc_none_ops)
+    cells;
+  List.rev !failures
 
 (* Parse the flat JSON dump this harness writes with [--json]: one
    [  "name": 1.2345,] line per cell.  Hand-rolled on purpose — no JSON
@@ -327,6 +437,24 @@ let run_bechamel ~quick ~jobs ~json ~check ~threshold () =
     (fun (n, ms) -> Printf.printf "%-52s %10.3f ms (simulated)\n%!" n ms)
     coll_estimates;
   estimates := List.rev_append coll_estimates !estimates;
+  (* skeleton-fusion cells ride along too: deterministic simulated
+     makespans and charged ops under --optimize none vs fuse *)
+  let opt_cells = optimize_cells () in
+  let opt_estimates =
+    List.concat_map
+      (fun c ->
+        [
+          ("opt/" ^ c.oc_app ^ "/none-ms", c.oc_none_ms);
+          ("opt/" ^ c.oc_app ^ "/fuse-ms", c.oc_fuse_ms);
+          ("opt/" ^ c.oc_app ^ "/none-ops", float_of_int c.oc_none_ops);
+          ("opt/" ^ c.oc_app ^ "/fuse-ops", float_of_int c.oc_fuse_ops);
+        ])
+      opt_cells
+  in
+  List.iter
+    (fun (n, ms) -> Printf.printf "%-52s %10.3f (simulated)\n%!" n ms)
+    opt_estimates;
+  estimates := List.rev_append opt_estimates !estimates;
   print_newline ();
   (match json with
    | None -> ()
@@ -349,6 +477,7 @@ let run_bechamel ~quick ~jobs ~json ~check ~threshold () =
       (match
          check_estimates ~baseline ~threshold (List.rev !estimates)
          @ check_collectives coll_cells coll_apps
+         @ check_optimize opt_cells
        with
        | [] ->
            Printf.printf
@@ -439,6 +568,7 @@ let () =
   (* explicit-only: Bechamel spends a fixed time quota per cell, which would
      drown the tables' wall-clock in any speedup measurement of [all] *)
   if wants "collectives" then Report.print_collectives ~jobs ();
+  if wants "optimize" then print_optimize (optimize_cells ());
   if List.mem "bechamel" targets then
     run_bechamel ~quick ~jobs ~json:json_file ~check:check_file ~threshold ();
   (* tracing is opt-in and re-runs its own cell, so the timed table cells

@@ -16,23 +16,35 @@ let load path =
   let env = Typecheck.check program in
   (program, env)
 
-let handle_errors f =
+(* Every syntax/type diagnostic is printed as [file:line:col: kind: message]
+   (the conventional, editor-clickable shape); [?file] is the source being
+   processed when one is in scope. *)
+let handle_errors ?file f =
+  let where line col =
+    match file with
+    | Some p -> Printf.sprintf "%s:%d:%d" p line col
+    | None -> Printf.sprintf "%d:%d" line col
+  in
   try f () with
   | Lexer.Error { line; col; message } ->
-      Printf.eprintf "%d:%d: lexical error: %s\n" line col message;
+      Printf.eprintf "%s: lexical error: %s\n" (where line col) message;
       exit 1
   | Parser.Error { line; col; message } ->
-      Printf.eprintf "%d:%d: syntax error: %s\n" line col message;
+      Printf.eprintf "%s: syntax error: %s\n" (where line col) message;
       exit 1
-  | Typecheck.Type_error { line; message } ->
-      Printf.eprintf "line %d: type error: %s\n" line message;
+  | Typecheck.Type_error { line; col; message } ->
+      Printf.eprintf "%s: type error: %s\n" (where line col) message;
       exit 1
   | Instantiate.Unsupported { line; message } ->
-      Printf.eprintf "line %d: not instantiable: %s\n" line message;
+      Printf.eprintf "%s: not instantiable: %s\n" (where line 0) message;
       exit 1
   | Value.Skil_runtime_error m ->
       Printf.eprintf "runtime error: %s\n" m;
       exit 1
+  | Invalid_argument m ->
+      (* e.g. --optimize fuse combined with --no-instantiate *)
+      Printf.eprintf "error: %s\n" m;
+      exit 2
   | Machine.Stalled blocked ->
       Printf.eprintf "%s\n" (Machine.stall_diagnostic blocked);
       exit 1
@@ -55,7 +67,7 @@ let args_arg =
 
 let check_cmd =
   let run file =
-    handle_errors (fun () ->
+    handle_errors ~file (fun () ->
         let program, _ = load file in
         let funcs =
           List.filter_map
@@ -74,7 +86,7 @@ let check_cmd =
 
 let instantiate_cmd =
   let run file entry =
-    handle_errors (fun () ->
+    handle_errors ~file (fun () ->
         let program, env = load file in
         let fo = Instantiate.program env program ~entries:[ entry ] in
         Printf.printf
@@ -102,16 +114,37 @@ let instantiate_cmd =
 (* ---------------- emit-c ---------------- *)
 
 let emit_cmd =
-  let run file entry =
-    handle_errors (fun () ->
+  let run file entry optimize =
+    handle_errors ~file (fun () ->
+        (* The C emitter is kept on the unoptimized AST on purpose: fused
+           argument functions and array_create_const have no counterpart in
+           skil_runtime.h, and the emitted C is compared against the
+           historical compiler's shape.  Reject the flag instead of
+           silently ignoring it. *)
+        (match optimize with
+         | `None -> ()
+         | `Fuse ->
+             Printf.eprintf
+               "emit-c: --optimize fuse is not supported: the C back end \
+                emits the unoptimized instantiated program (fusion applies \
+                to the simulated engines only)\n";
+             exit 2);
         let program, env = load file in
         let fo = Instantiate.program env program ~entries:[ entry ] in
         print_string (Emit_c.program fo))
   in
+  let optimize =
+    Arg.(value
+         & opt (enum [ ("none", `None); ("fuse", `Fuse) ]) `None
+         & info [ "optimize" ] ~docv:"OPT"
+             ~doc:"Accepted for interface symmetry with run-par; only \
+                   $(b,none) is valid here (the back end emits the \
+                   unoptimized program).")
+  in
   Cmd.v
     (Cmd.info "emit-c"
        ~doc:"Print the message-passing C the compiler back end would emit.")
-    Term.(const run $ file_arg $ entry_arg)
+    Term.(const run $ file_arg $ entry_arg $ optimize)
 
 (* ---------------- runtime header ---------------- *)
 
@@ -127,7 +160,7 @@ let runtime_cmd =
 
 let run_cmd =
   let run file entry args =
-    handle_errors (fun () ->
+    handle_errors ~file (fun () ->
         let program, env = load file in
         let st = Interp.make ~tyenv:env program in
         let v =
@@ -170,6 +203,18 @@ let engine_conv =
         Format.fprintf ppf "%s"
           (match e with `Ast -> "ast" | `Compiled -> "compiled") )
 
+let optimize_conv =
+  let parse = function
+    | "none" -> Ok `None
+    | "fuse" -> Ok `Fuse
+    | s -> Error (`Msg ("unknown optimization level " ^ s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf o ->
+        Format.fprintf ppf "%s"
+          (match o with `None -> "none" | `Fuse -> "fuse") )
+
 let collectives_conv =
   let parse s =
     match Coll_alg.mode_of_string s with
@@ -180,9 +225,9 @@ let collectives_conv =
 
 let run_par_cmd =
   let run file entry args width height torus profile no_instantiate engine
-      no_specialize trace_out want_profile faults_spec fault_seed reliable
-      collectives =
-    handle_errors (fun () ->
+      no_specialize optimize trace_out want_profile faults_spec fault_seed
+      reliable collectives =
+    handle_errors ~file (fun () ->
         let program, _ = load file in
         let topology =
           if torus then Topology.torus2d ~width ~height ()
@@ -207,7 +252,7 @@ let run_par_cmd =
          | None -> ());
         let r =
           Spmd.run ~instantiate:(not no_instantiate) ~engine
-            ~specialize:(not no_specialize) ~trace ?faults ~reliable
+            ~specialize:(not no_specialize) ~optimize ~trace ?faults ~reliable
             ~collectives ~cost:(Cost_model.make profile) ~topology program
             ~entry
             ~args:(List.map (fun n -> Value.VInt n) args)
@@ -275,6 +320,19 @@ let run_par_cmd =
                    skeleton argument functions generically (A/B escape \
                    hatch; results are bit-identical either way).")
   in
+  let optimize =
+    Arg.(value
+         & opt optimize_conv `None
+         & info [ "optimize" ] ~docv:"OPT"
+             ~doc:"Optimization level: $(b,none) (the default; output, \
+                   makespans, Stats and traces byte-identical to earlier \
+                   releases) or $(b,fuse) (skeleton fusion: map/map and \
+                   map-into-fold fusion, dead-copy elimination, \
+                   constant-initialiser folding and loop-invariant \
+                   broadcast/bound hoisting — value-identical results with \
+                   fewer charged operations).  Requires the instantiation \
+                   pass (incompatible with $(b,--no-instantiate)).")
+  in
   let trace_out =
     Arg.(value
          & opt (some string) None
@@ -335,8 +393,8 @@ let run_par_cmd =
        ~doc:"Execute a Skil program on the simulated Parsytec machine.")
     Term.(const run $ file_arg $ entry_arg $ args_arg $ width $ height
           $ torus $ profile $ no_instantiate $ engine $ no_specialize
-          $ trace_out $ want_profile $ faults_spec $ fault_seed $ reliable
-          $ collectives)
+          $ optimize $ trace_out $ want_profile $ faults_spec $ fault_seed
+          $ reliable $ collectives)
 
 let () =
   let doc = "the Skil compiler (HPDC '96 reproduction)" in

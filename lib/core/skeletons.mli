@@ -65,12 +65,23 @@ val map :
 (** [array_map map_f from to].  [from] and [to] may be the same array, in
     which case the replacement is done in situ (paper semantics).  The two
     arrays must have the same layout.  The index passed to [map_f] is
-    transient; copy it if kept. *)
+    transient; copy it if kept.
+
+    Purity contract: the runtime applies [map_f] to each local element
+    exactly once, in partition-iteration order, but nothing here checks
+    that [map_f] is observation-free.  A [map_f] that mutates captured
+    state, performs I/O, or reads [from]/[to] through [get_elem] is legal
+    at this layer — each processor sees a deterministic order — but it
+    pins the call: {!Optimize} may compose, reorder or eliminate adjacent
+    maps only when its effect analysis proves every argument function
+    pure, so impure or array-reading kernels must (and do) disable
+    fusion. *)
 
 val map_into :
   ctx -> ?cost:float -> ('a -> Index.t -> 'b) -> 'a Darray.t -> 'b Darray.t -> unit
 (** [map] between arrays of different element types (necessarily distinct
-    arrays). *)
+    arrays).  The purity contract of {!map} applies: the kernel runs once
+    per local element, and only provably pure kernels are fusable. *)
 
 val fold :
   ctx ->

@@ -18,7 +18,12 @@ type typ =
 
 and meta = Unbound of int | Link of typ
 
-type expr = { desc : desc; line : int; mutable inst : (string * typ) list }
+type expr = {
+  mutable desc : desc;  (* mutable so the optimizer can rewrite in place *)
+  line : int;
+  col : int;  (* position of the node's first token; 0 when synthesized *)
+  mutable inst : (string * typ) list;
+}
 (* [inst] is filled by the typechecker on Call/Var nodes that reference a
    polymorphic function: the types its $-variables were instantiated with.
    The instantiation pass consumes it. *)
@@ -79,7 +84,7 @@ type top =
 
 type program = top list
 
-let mk ?(line = 0) desc = { desc; line; inst = [] }
+let mk ?(line = 0) ?(col = 0) desc = { desc; line; col; inst = [] }
 
 let rec type_to_string = function
   | TInt -> "int"

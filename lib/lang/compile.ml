@@ -506,6 +506,34 @@ let specialize_skeleton prog (h : Ast.expr) name :
                   | Some f -> mk (fun a -> DGen a) f
                   | None -> generic st argv))
           | argv -> generic st argv)
+  | "array_create_const" ->
+      (* constant-element variant (produced by the fusion pass): payload
+         choice from the static element type, no initialiser function at
+         all *)
+      Some
+        (fun st argv ->
+          match argv with
+          | [ VInt dim; VIndex size; VIndex _; VIndex _; cv; VInt distr ] ->
+              let mk : 'e. ('e Darray.t -> darray) -> (Index.t -> 'e) ->
+                  Value.t =
+               fun wrap f ->
+                let ctx = Interp.ctx_of st in
+                if Array.length size <> dim then
+                  rte "array_create_const: bad Size";
+                VDarray
+                  (wrap
+                     (Skeletons.create ctx ~gsize:(Array.copy size)
+                        ~distr:(Interp.distr_of distr) f))
+              in
+              (match kind "t" with
+               | Some `I ->
+                   let n = as_int cv in
+                   mk (fun a -> DInt a) (fun _ -> n)
+               | Some `F ->
+                   let x = as_float cv in
+                   mk (fun a -> DFloat a) (fun _ -> x)
+               | None -> mk (fun a -> DGen a) (fun _ -> Value.copy cv))
+          | argv -> generic st argv)
   | "array_map" ->
       (* run-time payload kinds fully determine the boxing *)
       Some

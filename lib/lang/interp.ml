@@ -291,6 +291,17 @@ let builtin st ~apply name args =
         (DGen
            (Skeletons.create ctx ~gsize:(Array.copy size)
               ~distr:(distr_of distr) f))
+  | "array_create_const", [ VInt dim; VIndex size; VIndex _bs; VIndex _lb;
+                            init; VInt distr ] ->
+      (* array_create with a constant element: same skeleton, same Mapped
+         charge, but no per-element initialiser function to interpret *)
+      let ctx = ctx_of st in
+      if Array.length size <> dim then rte "array_create_const: bad Size";
+      let f _ix = Value.copy init in
+      VDarray
+        (DGen
+           (Skeletons.create ctx ~gsize:(Array.copy size)
+              ~distr:(distr_of distr) f))
   | "array_destroy", [ VDarray a ] ->
       destroy_array (ctx_of st) a;
       VUnit

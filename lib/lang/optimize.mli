@@ -1,0 +1,22 @@
+(** Skeleton-fusion optimizer.
+
+    Rewrites the {e instantiated, typechecked} program before it reaches the
+    execution engines: map/map and map-into-fold fusion, dead array_copy and
+    dead create/destroy elimination, constant-initialiser folding into
+    [array_create_const], and hoisting of loop-invariant
+    [array_broadcast_part] calls and pure loop-bound expressions.  Every
+    rewrite fires only when the effect analysis proves the functions it
+    touches pure and the intermediate arrays unaliased; the result is
+    value-identical to the input program (same printed output, same final
+    values) with strictly fewer charged element operations wherever a
+    rewrite fires.
+
+    The caller must re-run {!Typecheck.check} on the result: synthesized
+    fused functions and hoisted declarations carry no [inst] annotations
+    until then. *)
+
+val program : env:Typecheck.env -> Ast.program -> Ast.program
+(** [program ~env p] returns the optimized program; [env] is the
+    environment produced by checking [p].  [p] itself is not reused (every
+    rewritten expression is rebuilt), but annotation fields of unchanged
+    subtrees are shared. *)

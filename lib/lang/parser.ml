@@ -35,8 +35,16 @@ let ident st =
       s
   | _ -> error st "expected identifier"
 
-let line st = (cur st).Token.line
-let mk st desc = Ast.mk ~line:(line st) desc
+(* Source positions: every expression is stamped with the position of its
+   *first* token, captured before its children are parsed.  (The previous
+   scheme stamped nodes with the current token *after* parsing, i.e. the
+   token following the construct — off by a whole line for any multi-line
+   expression.) *)
+let pos st =
+  let t = cur st in
+  (t.Token.line, t.Token.col)
+
+let mk_at (line, col) desc = Ast.mk ~line ~col desc
 
 (* ---------------- types ---------------- *)
 
@@ -144,28 +152,30 @@ let parse_type_params st =
 let rec parse_expr_st st = parse_assign st
 
 and parse_assign st =
+  let p = pos st in
   let lhs = parse_cond st in
   match tok st with
   | Token.PUNCT "=" ->
       advance st;
       let rhs = parse_assign st in
-      mk st (Ast.Assign (lhs, rhs))
+      mk_at p (Ast.Assign (lhs, rhs))
   | Token.PUNCT (("+=" | "-=" | "*=" | "/=" | "%=") as op) ->
       (* compound assignment desugars to the plain operator *)
       advance st;
       let rhs = parse_assign st in
-      mk st
-        (Ast.Assign (lhs, mk st (Ast.Binop (String.sub op 0 1, lhs, rhs))))
+      mk_at p
+        (Ast.Assign (lhs, mk_at p (Ast.Binop (String.sub op 0 1, lhs, rhs))))
   | _ -> lhs
 
 and parse_cond st =
+  let p = pos st in
   let c = parse_binop st 0 in
   if tok st = Token.PUNCT "?" then begin
     advance st;
     let a = parse_assign st in
     expect_punct st ":";
     let b = parse_cond st in
-    mk st (Ast.Cond (c, a, b))
+    mk_at p (Ast.Cond (c, a, b))
   end
   else c
 
@@ -182,6 +192,7 @@ and binop_levels =
 and parse_binop st level =
   if level >= Array.length binop_levels then parse_unary st
   else begin
+    let start = pos st in
     let lhs = ref (parse_binop st (level + 1)) in
     let continue_ = ref true in
     while !continue_ do
@@ -189,26 +200,28 @@ and parse_binop st level =
       | Token.PUNCT p when List.mem p binop_levels.(level) ->
           advance st;
           let rhs = parse_binop st (level + 1) in
-          lhs := mk st (Ast.Binop (p, !lhs, rhs))
+          lhs := mk_at start (Ast.Binop (p, !lhs, rhs))
       | _ -> continue_ := false
     done;
     !lhs
   end
 
 and parse_unary st =
+  let p = pos st in
   match tok st with
   | Token.PUNCT "!" ->
       advance st;
-      mk st (Ast.Unop ("!", parse_unary st))
+      mk_at p (Ast.Unop ("!", parse_unary st))
   | Token.PUNCT "-" ->
       advance st;
-      mk st (Ast.Unop ("-", parse_unary st))
+      mk_at p (Ast.Unop ("-", parse_unary st))
   | Token.PUNCT "*" ->
       advance st;
-      mk st (Ast.Deref (parse_unary st))
+      mk_at p (Ast.Deref (parse_unary st))
   | _ -> parse_postfix st
 
 and parse_postfix st =
+  let start = pos st in
   let e = ref (parse_primary st) in
   let continue_ = ref true in
   while !continue_ do
@@ -216,26 +229,30 @@ and parse_postfix st =
     | Token.PUNCT "(" ->
         advance st;
         let args = parse_args st in
-        e := mk st (Ast.Call (!e, args))
+        e := mk_at start (Ast.Call (!e, args))
     | Token.PUNCT "[" ->
         advance st;
         let i = parse_expr_st st in
         expect_punct st "]";
-        e := mk st (Ast.Idx (!e, i))
+        e := mk_at start (Ast.Idx (!e, i))
     | Token.PUNCT "." ->
         advance st;
-        e := mk st (Ast.Field (!e, ident st))
+        e := mk_at start (Ast.Field (!e, ident st))
     | Token.PUNCT "->" ->
         advance st;
-        e := mk st (Ast.Arrow (!e, ident st))
+        e := mk_at start (Ast.Arrow (!e, ident st))
     | Token.PUNCT "++" ->
         advance st;
-        let one = mk st (Ast.Int 1) in
-        e := mk st (Ast.Assign (!e, mk st (Ast.Binop ("+", !e, one))))
+        let one = mk_at start (Ast.Int 1) in
+        e :=
+          mk_at start
+            (Ast.Assign (!e, mk_at start (Ast.Binop ("+", !e, one))))
     | Token.PUNCT "--" ->
         advance st;
-        let one = mk st (Ast.Int 1) in
-        e := mk st (Ast.Assign (!e, mk st (Ast.Binop ("-", !e, one))))
+        let one = mk_at start (Ast.Int 1) in
+        e :=
+          mk_at start
+            (Ast.Assign (!e, mk_at start (Ast.Binop ("-", !e, one))))
     | _ -> continue_ := false
   done;
   !e
@@ -261,31 +278,32 @@ and parse_args st =
   end
 
 and parse_primary st =
+  let p = pos st in
   match tok st with
   | Token.INT n ->
       advance st;
-      mk st (Ast.Int n)
+      mk_at p (Ast.Int n)
   | Token.FLOAT f ->
       advance st;
-      mk st (Ast.Float f)
+      mk_at p (Ast.Float f)
   | Token.STRING s ->
       advance st;
-      mk st (Ast.Str s)
+      mk_at p (Ast.Str s)
   | Token.CHAR c ->
       advance st;
-      mk st (Ast.Chr c)
+      mk_at p (Ast.Chr c)
   | Token.OPSECTION op ->
       advance st;
-      mk st (Ast.OpSection op)
+      mk_at p (Ast.OpSection op)
   | Token.IDENT name ->
       advance st;
-      mk st (Ast.Var name)
+      mk_at p (Ast.Var name)
   | Token.KW "new" ->
       advance st;
       expect_punct st "(";
       let e = parse_expr_st st in
       expect_punct st ")";
-      mk st (Ast.New e)
+      mk_at p (Ast.New e)
   | Token.PUNCT "(" ->
       advance st;
       let e = parse_expr_st st in
@@ -304,7 +322,7 @@ and parse_primary st =
             List.rev (e :: acc)
         | _ -> error st "expected ',' or '}' in array literal"
       in
-      mk st (Ast.ArrayLit (go []))
+      mk_at p (Ast.ArrayLit (go []))
   | _ -> error st ("unexpected token " ^ Token.describe (tok st))
 
 (* ---------------- statements ---------------- *)

@@ -1,8 +1,10 @@
 type outcome = { value : Value.t; printed : string }
 type engine = [ `Ast | `Compiled ]
+type optimize = [ `None | `Fuse ]
 
 let run ?cost ?trace ?faults ?reliable ?collectives ?(instantiate = true)
-    ?(engine = `Compiled) ?(specialize = true) ~topology program ~entry ~args =
+    ?(engine = `Compiled) ?(specialize = true) ?(optimize = `None) ~topology
+    program ~entry ~args =
   let tyenv = Typecheck.check program in
   let program, tyenv =
     if instantiate then begin
@@ -10,6 +12,19 @@ let run ?cost ?trace ?faults ?reliable ?collectives ?(instantiate = true)
       (inst, Typecheck.check inst)
     end
     else (program, tyenv)
+  in
+  let program, tyenv =
+    match optimize with
+    | `None -> (program, tyenv)
+    | `Fuse ->
+        if not instantiate then
+          invalid_arg
+            "Spmd.run: --optimize fuse requires the instantiation pass \
+             (the optimizer relies on first-order skeleton call sites)";
+        (* re-check so the synthesized fused functions and hoisted
+           declarations carry inst/struct annotations for the engines *)
+        let opt = Optimize.program ~env:tyenv program in
+        (opt, Typecheck.check opt)
   in
   match engine with
   | `Ast ->
@@ -29,6 +44,6 @@ let run ?cost ?trace ?faults ?reliable ?collectives ?(instantiate = true)
           { value; printed = Interp.output st })
 
 let run_source ?cost ?trace ?faults ?reliable ?collectives ?instantiate
-    ?engine ?specialize ~topology source ~entry ~args =
+    ?engine ?specialize ?optimize ~topology source ~entry ~args =
   run ?cost ?trace ?faults ?reliable ?collectives ?instantiate ?engine
-    ?specialize ~topology (Parser.parse source) ~entry ~args
+    ?specialize ?optimize ~topology (Parser.parse source) ~entry ~args

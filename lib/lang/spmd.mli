@@ -14,6 +14,15 @@ type engine = [ `Ast | `Compiled ]
     printed output, return values, simulated makespans, Stats and traces;
     the compiled one is just faster in wall-clock terms. *)
 
+type optimize = [ `None | `Fuse ]
+(** [`None] (the default) leaves the instantiated program untouched —
+    output, makespans, Stats and traces stay byte-identical to a build
+    without the optimizer.  [`Fuse] runs {!Optimize.program} after
+    instantiation: value-identical results (same printed output, same
+    return value) with strictly fewer charged element-ops and a smaller
+    makespan wherever a rewrite fires.  Requires [instantiate = true];
+    {!run} raises [Invalid_argument] otherwise. *)
+
 val run :
   ?cost:Cost_model.t ->
   ?trace:bool ->
@@ -23,6 +32,7 @@ val run :
   ?instantiate:bool ->
   ?engine:engine ->
   ?specialize:bool ->
+  ?optimize:optimize ->
   topology:Topology.t ->
   Ast.program ->
   entry:string ->
@@ -60,6 +70,7 @@ val run_source :
   ?instantiate:bool ->
   ?engine:engine ->
   ?specialize:bool ->
+  ?optimize:optimize ->
   topology:Topology.t ->
   string ->
   entry:string ->

@@ -1,4 +1,4 @@
-exception Type_error of { line : int; message : string }
+exception Type_error of { line : int; col : int; message : string }
 
 type scheme = {
   sch_vars : string list;
@@ -13,8 +13,14 @@ type env = {
   mutable pardatas : string list;
 }
 
-let err line fmt =
-  Printf.ksprintf (fun message -> raise (Type_error { line; message })) fmt
+(* Errors carry a (line, col) pair threaded from the offending expression;
+   (0, 0) marks checks with no source anchor (e.g. an uninitialised
+   declaration). *)
+let err (line, col) fmt =
+  Printf.ksprintf (fun message -> raise (Type_error { line; col; message })) fmt
+
+let epos (e : Ast.expr) = (e.Ast.line, e.Ast.col)
+let no_pos = (0, 0)
 
 (* ---------------- unification ---------------- *)
 
@@ -140,6 +146,15 @@ let builtins =
           Ast.TFun ([ Ast.TIndex ], v "t"); Ast.TInt;
         ]
         (arr (v "t")) );
+    (* like array_create but with a ready element value instead of an
+       initialiser function: every element is a copy of the given value.
+       The fusion pass rewrites constant-initialiser array_create calls to
+       this (no per-element function application to charge); it is also a
+       legal source-level builtin. *)
+    ( "array_create_const",
+      pf [ "t" ]
+        [ Ast.TInt; Ast.TIndex; Ast.TIndex; Ast.TIndex; v "t"; Ast.TInt ]
+        (arr (v "t")) );
     ("array_destroy", pf [ "t" ] [ arr (v "t") ] Ast.TVoid);
     ( "array_map",
       pf [ "t1"; "t2" ]
@@ -224,7 +239,7 @@ let collect env program =
       | Ast.TStruct s ->
           (* pardata may not be stored inside other data structures *)
           List.iter
-            (fun (ft, _) -> check_pardata_placement env 0 ~inside:true ft)
+            (fun (ft, _) -> check_pardata_placement env no_pos ~inside:true ft)
             s.Ast.s_fields;
           Hashtbl.replace env.structs s.Ast.s_name s
       | Ast.TTypedef td -> Hashtbl.replace env.typedefs td.Ast.td_name td
@@ -300,7 +315,7 @@ let rec field_type ctx line t field =
   | t -> err line "%s has no fields" (Ast.type_to_string t)
 
 and check_expr ctx (e : Ast.expr) : Ast.typ =
-  let line = e.Ast.line in
+  let line = epos e in
   match e.Ast.desc with
   | Ast.Int _ -> Ast.TInt
   | Ast.Float _ -> Ast.TFloat
@@ -387,9 +402,9 @@ and check_lvalue ctx (e : Ast.expr) =
   match e.Ast.desc with
   | Ast.Var x ->
       if List.assoc_opt x ctx.locals = None then
-        err e.Ast.line "cannot assign to %s" x
+        err (epos e) "cannot assign to %s" x
   | Ast.Idx _ | Ast.Field _ | Ast.Arrow _ | Ast.Deref _ -> ()
-  | _ -> err e.Ast.line "not an lvalue"
+  | _ -> err (epos e) "not an lvalue"
 
 (* Curried application: consume as many parameters as there are arguments,
    possibly unrolling nested function results, and return the remainder. *)
@@ -414,31 +429,34 @@ and apply ctx line tf targs =
 let rec check_stmt ctx = function
   | Ast.SExpr e -> ignore (check_expr ctx e)
   | Ast.SDecl (t, name, init) ->
-      check_pardata_placement ctx.env 0 ~inside:false t;
+      (* anchor declaration errors on the initialiser when there is one;
+         the bare declaration has no token of its own in the AST *)
+      let p = match init with Some e -> epos e | None -> no_pos in
+      check_pardata_placement ctx.env p ~inside:false t;
       (match init with
-       | Some e -> unify ctx.env 0 (check_expr ctx e) t
+       | Some e -> unify ctx.env (epos e) (check_expr ctx e) t
        | None -> ());
       ctx.locals <- (name, t) :: ctx.locals
   | Ast.SIf (c, a, b) ->
-      unify ctx.env c.Ast.line (check_expr ctx c) Ast.TInt;
+      unify ctx.env (epos c) (check_expr ctx c) Ast.TInt;
       check_block ctx a;
       check_block ctx b
   | Ast.SWhile (c, b) ->
-      unify ctx.env c.Ast.line (check_expr ctx c) Ast.TInt;
+      unify ctx.env (epos c) (check_expr ctx c) Ast.TInt;
       check_block ctx b
   | Ast.SFor (init, cond, step, body) ->
       let saved = ctx.locals in
       Option.iter (check_stmt ctx) init;
       Option.iter
-        (fun c -> unify ctx.env c.Ast.line (check_expr ctx c) Ast.TInt)
+        (fun c -> unify ctx.env (epos c) (check_expr ctx c) Ast.TInt)
         cond;
       Option.iter (fun e -> ignore (check_expr ctx e)) step;
       check_block ctx body;
       ctx.locals <- saved
   | Ast.SReturn None ->
-      unify ctx.env 0 ctx.ret Ast.TVoid
+      unify ctx.env no_pos ctx.ret Ast.TVoid
   | Ast.SReturn (Some e) ->
-      unify ctx.env e.Ast.line (check_expr ctx e) ctx.ret
+      unify ctx.env (epos e) (check_expr ctx e) ctx.ret
   | Ast.SBreak | Ast.SContinue -> ()
   | Ast.SBlock b -> check_block ctx b
 
@@ -453,7 +471,7 @@ let rec zonk_expr env (e : Ast.expr) =
   (* a bare pardata instantiation (e.g. passing an array to a generic
      function) is fine; a pardata nested inside a constructed type is not *)
   List.iter
-    (fun (_, t) -> check_pardata_placement env e.Ast.line ~inside:false t)
+    (fun (_, t) -> check_pardata_placement env (epos e) ~inside:false t)
     e.Ast.inst;
   match e.Ast.desc with
   | Ast.Int _ | Ast.Float _ | Ast.Str _ | Ast.Chr _ | Ast.Var _

@@ -8,7 +8,9 @@
     resolved instantiation recorded in [inst], which is what the
     translation-by-instantiation pass consumes. *)
 
-exception Type_error of { line : int; message : string }
+exception Type_error of { line : int; col : int; message : string }
+(** [line]/[col] point at the first token of the offending expression;
+    both are [0] when the check has no source anchor. *)
 
 type scheme = {
   sch_vars : string list;  (** the $-variables, rigid inside the body *)

@@ -27,6 +27,7 @@ let corpus =
     ("gauss.skil", "gauss", [ Value.VInt 8 ], `Mesh (2, 1));
     ("matmul.skil", "matmul", [ Value.VInt 8 ], `Torus (2, 2));
     ("threshold.skil", "main", [ Value.VInt 8 ], `Mesh (2, 1));
+    ("jacobi.skil", "jacobi", [ Value.VInt 16 ], `Mesh (2, 2));
   ]
 
 let topology = function

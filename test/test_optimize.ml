@@ -1,0 +1,310 @@
+(* The skeleton-fusion optimizer (Optimize, --optimize fuse) must be
+   unobservable in values: for every program the fused run prints the
+   same bytes and returns the same values as the unoptimized one, on
+   both engines, while charging no more (and on the apps with fusable
+   pipelines strictly fewer) simulated operations.  --optimize none must
+   remain byte-identical to a build without the pass: same output, same
+   makespan, same Stats, same chrome trace.
+
+   Also here: the frontend bugfix sweep regressions — purity analysis
+   refusing to fuse an impure argument function, and line/column
+   positions on lexer, parser and typechecker diagnostics. *)
+
+let qt ?(count = 40) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name ~print:(fun s -> s) gen prop)
+
+let run ?(engine = `Compiled) ~optimize (file, entry, args, topo) =
+  Spmd.run_source ~engine ~optimize ~trace:true
+    ~topology:(Test_engines.topology topo)
+    (Test_engines.source file) ~entry ~args
+
+(* total charged operations across all profile spans *)
+let ops_total r =
+  let nprocs = Array.length r.Machine.values in
+  let p =
+    Profile.of_trace r.Machine.trace ~nprocs ~makespan:r.Machine.time
+  in
+  List.fold_left
+    (fun acc s ->
+      acc + s.Profile.ops_kernel + s.Profile.ops_mapped + s.Profile.ops_scalar)
+    0 p.Profile.spans
+
+let check_values name ra rb =
+  let nprocs = Array.length ra.Machine.values in
+  Alcotest.(check int)
+    (name ^ " nprocs") nprocs
+    (Array.length rb.Machine.values);
+  for i = 0 to nprocs - 1 do
+    let oa = ra.Machine.values.(i) and ob = rb.Machine.values.(i) in
+    Alcotest.(check string)
+      (Printf.sprintf "%s printed[%d]" name i)
+      oa.Spmd.printed ob.Spmd.printed;
+    Alcotest.(check string)
+      (Printf.sprintf "%s value[%d]" name i)
+      (Value.describe oa.Spmd.value)
+      (Value.describe ob.Spmd.value)
+  done
+
+(* apps where ISSUE requires the fused run to charge strictly fewer ops *)
+let must_improve = [ "gauss.skil"; "matmul.skil"; "jacobi.skil" ]
+
+(* Three ways over the whole corpus: reference interpreter, compiled
+   engine, compiled engine with fusion.  none = byte-identical
+   (including the chrome trace); fuse = value-identical on both engines
+   and never charged more. *)
+let test_corpus_three_way () =
+  List.iter
+    (fun ((file, _, _, _) as c) ->
+      let ast = run ~engine:`Ast ~optimize:`None c in
+      let comp = run ~optimize:`None c in
+      (* check_identical compares printed/value/makespan/Stats and does a
+         byte-diff of the chrome-trace JSON *)
+      Test_engines.check_identical (file ^ " none") ast comp;
+      let fuse = run ~optimize:`Fuse c in
+      check_values (file ^ " fuse vs none") ast fuse;
+      (* the fused program itself must still be engine-identical *)
+      Test_engines.check_identical
+        (file ^ " fuse engines")
+        (run ~engine:`Ast ~optimize:`Fuse c)
+        fuse;
+      let o_none = ops_total comp and o_fuse = ops_total fuse in
+      if o_fuse > o_none then
+        Alcotest.failf "%s: fuse charged %d ops, none charged %d" file o_fuse
+          o_none;
+      if List.mem file must_improve && o_fuse >= o_none then
+        Alcotest.failf "%s: fuse must charge strictly fewer ops (%d vs %d)"
+          file o_fuse o_none)
+    Test_engines.corpus
+
+(* ---------------- random programs: fusion is unobservable ------------- *)
+
+open QCheck2.Gen
+
+(* Random monomorphic skeleton programs with nested map chains (both the
+   in-place c = b shape and through a dead intermediate), a counted loop
+   around a map, and a map feeding a fold — the shapes the optimizer
+   rewrites — plus constant and index-dependent initialisers so the
+   create-const folding sometimes fires and sometimes must not. *)
+let gen_fusable =
+  oneofl [ Test_specialize.I; Test_specialize.F ] >>= fun ty ->
+  let tname = match ty with Test_specialize.I -> "int" | _ -> "float" in
+  int_range 4 8 >>= fun n ->
+  int_range 1 3 >>= fun iters ->
+  bool >>= fun const_init ->
+  bool >>= fun inplace ->
+  let ix0 = match ty with
+    | Test_specialize.I -> "ix[0]"
+    | _ -> "itof(ix[0])"
+  in
+  Test_specialize.expr ty 2 [ ix0 ] >>= fun init_e ->
+  Test_specialize.lit ty >>= fun const_e ->
+  Test_specialize.expr ty 2 [ "c"; "elem"; ix0 ] >>= fun f_e ->
+  Test_specialize.expr ty 2 [ "elem" ] >>= fun g_e ->
+  Test_specialize.expr ty 1 [ "elem" ] >>= fun conv_e ->
+  oneofl [ "a + b"; "min(a, b)"; "max(a, b)" ] >>= fun merge_e ->
+  Test_specialize.lit ty >|= fun cval ->
+  let init_body = if const_init then const_e else init_e in
+  let chain =
+    if inplace then
+      (* map o map fused in place: no liveness argument needed *)
+      Printf.sprintf
+        "    array_map(f(%s), a, b);\n    array_map(g, b, b);" cval
+    else
+      (* through t, which dies right after: fused once t is provably dead *)
+      Printf.sprintf
+        "    array_map(f(%s), a, t);\n    array_map(g, t, b);" cval
+  in
+  Printf.sprintf
+    {|
+%s init(Index ix) { return %s; }
+%s f(%s c, %s elem, Index ix) { return %s; }
+%s g(%s elem, Index ix) { return %s; }
+%s conv(%s elem, Index ix) { return %s; }
+%s merge(%s a, %s b) { return %s; }
+void main() {
+  array<%s> a;
+  array<%s> b;
+  array<%s> t;
+  a = array_create(1, {%d}, {0}, {-1}, init, DISTR_DEFAULT);
+  b = array_create(1, {%d}, {0}, {-1}, init, DISTR_DEFAULT);
+  t = array_create(1, {%d}, {0}, {-1}, init, DISTR_DEFAULT);
+  for (int it = 0; it < (%d + 1); it++) {
+%s
+  }
+  array<%s> fr = array_create(1, {%d}, {0}, {-1}, init, DISTR_DEFAULT);
+  array_map(g, b, fr);
+  %s r = array_fold(conv, merge, fr);
+  print_%s(r);
+  array_destroy(fr);
+  array_destroy(t);
+  array_destroy(b);
+  array_destroy(a);
+}
+|}
+    tname init_body tname tname tname f_e tname tname g_e tname tname
+    conv_e tname tname tname merge_e tname tname tname n n n iters chain
+    tname n tname tname
+
+let observe src ~engine ~optimize =
+  let r =
+    Spmd.run_source ~engine ~optimize ~trace:true
+      ~topology:(Topology.mesh ~width:2 ~height:2)
+      src ~entry:"main" ~args:[]
+  in
+  ( Array.map (fun o -> o.Spmd.printed) r.Machine.values,
+    Array.map (fun o -> Value.describe o.Spmd.value) r.Machine.values )
+
+let prop_fusion_unobservable src =
+  let a = observe src ~engine:`Ast ~optimize:`None in
+  let f = observe src ~engine:`Compiled ~optimize:`Fuse in
+  let fa = observe src ~engine:`Ast ~optimize:`Fuse in
+  a = f && a = fa
+
+(* the specialize generator's flat programs must also survive fusion *)
+let prop_specialize_corpus_unobservable src =
+  let a = observe src ~engine:`Ast ~optimize:`None in
+  let f = observe src ~engine:`Compiled ~optimize:`Fuse in
+  a = f
+
+(* ---------------- purity: impure argument functions refuse ------------ *)
+
+(* bump mutates state captured through its lifted pointer parameter, so
+   fusing it with the following map would change how many times the cell
+   is bumped per element.  The effect analysis must classify it Impure
+   and leave the pipeline alone: fuse is byte-identical to none and the
+   optimizer synthesizes no functions. *)
+let impure_src =
+  {|
+float bump(float * acc, float v, Index ix) {
+  *acc = *acc + v;
+  return v + *acc;
+}
+float twice(float v, Index ix) { return v + v; }
+float conv(float v, Index ix) { return v; }
+float addf(float a, float b) { return a + b; }
+float init(Index ix) { return itof(ix[0]); }
+void main() {
+  array<float> a;
+  float * acc = new(0.0);
+  a = array_create(1, {8}, {0}, {-1}, init, DISTR_DEFAULT);
+  array_map(bump(acc), a, a);
+  array_map(twice, a, a);
+  print_float(array_fold(conv, addf, a));
+  print_float(*acc);
+  array_destroy(a);
+}
+|}
+
+let test_impure_refuses () =
+  let run ~optimize =
+    Spmd.run_source ~optimize ~trace:true
+      ~topology:(Topology.mesh ~width:2 ~height:2)
+      impure_src ~entry:"main" ~args:[]
+  in
+  (* byte-identical including makespan, stats and trace: nothing fired *)
+  Test_engines.check_identical "impure fuse = none" (run ~optimize:`None)
+    (run ~optimize:`Fuse);
+  (* and structurally: the optimizer returns the program unchanged *)
+  let prog = Parser.parse impure_src in
+  let env = Typecheck.check prog in
+  let inst = Instantiate.program env prog ~entries:[ "main" ] in
+  let env = Typecheck.check inst in
+  let opt = Optimize.program ~env inst in
+  Alcotest.(check int)
+    "no functions synthesized" (List.length inst) (List.length opt)
+
+(* a pure pipeline of the same shape does fuse (sanity for the above).
+   The outer function uses its element exactly once, so composition
+   cannot duplicate work. *)
+let pure_src =
+  {|
+float scale(float w, float v, Index ix) { return w * v; }
+float shift(float v, Index ix) { return v + 1.0; }
+float conv(float v, Index ix) { return v; }
+float addf(float a, float b) { return a + b; }
+float init(Index ix) { return itof(ix[0]); }
+void main() {
+  array<float> a;
+  a = array_create(1, {8}, {0}, {-1}, init, DISTR_DEFAULT);
+  array_map(scale(0.5), a, a);
+  array_map(shift, a, a);
+  print_float(array_fold(conv, addf, a));
+  array_destroy(a);
+}
+|}
+
+let test_pure_fuses () =
+  let prog = Parser.parse pure_src in
+  let env = Typecheck.check prog in
+  let inst = Instantiate.program env prog ~entries:[ "main" ] in
+  let env = Typecheck.check inst in
+  let opt = Optimize.program ~env inst in
+  Alcotest.(check bool)
+    "fused functions synthesized" true
+    (List.length opt > List.length inst)
+
+(* ---------------- diagnostics carry line and column ------------------- *)
+
+let test_diagnostic_positions () =
+  (* parser: initialiser missing its expression *)
+  (match Parser.parse "int main() {\n  int x = ;\n  return 0;\n}\n" with
+  | _ -> Alcotest.fail "parsed a malformed initialiser"
+  | exception Parser.Error { line; col; _ } ->
+      Alcotest.(check (pair int int)) "parse pos" (2, 11) (line, col));
+  (* lexer: a character outside the language *)
+  (match
+     Parser.parse
+       "float f(Index ix) { return 1.0; }\nvoid main() {\n  int y = 3 @ 4;\n}\n"
+   with
+  | _ -> Alcotest.fail "lexed '@'"
+  | exception Lexer.Error { line; col; _ } ->
+      Alcotest.(check (pair int int)) "lex pos" (3, 13) (line, col));
+  (* typechecker: unbound identifier *)
+  (match
+     Typecheck.check
+       (Parser.parse
+          "int main() {\n  int x = 1;\n  return undefined_name + x;\n}\n")
+   with
+  | _ -> Alcotest.fail "typechecked an unbound identifier"
+  | exception Typecheck.Type_error { line; col; _ } ->
+      Alcotest.(check (pair int int)) "type pos" (3, 10) (line, col));
+  (* parser: unclosed block at end of input *)
+  match Parser.parse "void main() {\n  int x = 1;\n" with
+  | _ -> Alcotest.fail "parsed an unclosed block"
+  | exception Parser.Error { line; col; _ } ->
+      Alcotest.(check bool)
+        (Printf.sprintf "eof pos %d:%d is positioned" line col)
+        true
+        (line >= 2 && col >= 1)
+
+(* --optimize fuse without the instantiation pass is a clear error, not a
+   silent fallback: the optimizer only understands first-order sites *)
+let test_fuse_requires_instantiate () =
+  match
+    Spmd.run_source ~instantiate:false ~optimize:`Fuse
+      ~topology:(Topology.mesh ~width:2 ~height:1)
+      pure_src ~entry:"main" ~args:[]
+  with
+  | _ -> Alcotest.fail "ran fuse without instantiation"
+  | exception Invalid_argument _ -> ()
+
+let suite =
+  [
+    ( "optimize",
+      [
+        Alcotest.test_case "corpus three-way, ops never worse" `Quick
+          test_corpus_three_way;
+        qt "random fusable programs: fuse unobservable" gen_fusable
+          prop_fusion_unobservable;
+        qt ~count:30 "specialize generator programs: fuse unobservable"
+          Test_specialize.gen_program prop_specialize_corpus_unobservable;
+        Alcotest.test_case "impure argument function refuses" `Quick
+          test_impure_refuses;
+        Alcotest.test_case "pure pipeline fuses" `Quick test_pure_fuses;
+        Alcotest.test_case "diagnostics carry line:col" `Quick
+          test_diagnostic_positions;
+        Alcotest.test_case "fuse requires instantiation" `Quick
+          test_fuse_requires_instantiate;
+      ] );
+  ]
