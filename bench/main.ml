@@ -7,7 +7,8 @@
                    [--check FILE] [--threshold X]
                    [--trace-out FILE] [--profile]
                    [table1|table2|figure1|claim51|claim52|ablations|
-                    scaling|degradation|collectives|optimize|bechamel|all]...
+                    scaling|degradation|collectives|optimize|pdes|
+                    bechamel|all]...
 
    [--check FILE] turns the bechamel run into a regression guard: every
    cell present in the baseline JSON (a previous --json dump, e.g.
@@ -249,6 +250,111 @@ let check_optimize cells =
     cells;
   List.rev !failures
 
+(* ------------------------------------------------------------------ *)
+(* Parallel-simulation (PDES) strong-scaling cells: wall-clock of one
+   p = 256 shortest-paths simulation at --sim-domains {1, 2, 4}.  The
+   simulated makespan must be bit-identical whatever the shard count —
+   only the wall clock may move.  Wall-clock numbers are hardware facts:
+   they are recorded in the JSON dump but exempt from the baseline
+   slowdown threshold (a 1-core container and a 4-core runner would
+   otherwise guard each other's clocks); the makespan is deterministic
+   and pinned exactly. *)
+
+type pdes_cell = {
+  pc_domains : int;
+  pc_wall_ms : float;
+  pc_makespan : float;  (* simulated seconds — shard-count invariant *)
+}
+
+(* 16x16 torus = 256 simulated processors; n = 256 keeps one sequential
+   run around a few wall-clock seconds, enough work for the shards to
+   amortize their synchronisation. *)
+let pdes_sizes = (16, 256)
+
+let pdes_name =
+  let q, n = pdes_sizes in
+  Printf.sprintf "pdes/shpaths-%dx%d-n%d" q q n
+
+let pdes_cells () =
+  let q, n = pdes_sizes in
+  let topology = Topology.torus2d ~width:q ~height:q () in
+  let weight = Workload.graph_weight ~seed:1996 ~n ~max_weight:100 in
+  List.map
+    (fun sim_domains ->
+      let t0 = Unix.gettimeofday () in
+      let r =
+        Machine.run ~sim_domains
+          ~cost:(Cost_model.make Cost_model.skil)
+          ~topology
+          (fun ctx ->
+            Skeletons.destroy ctx (Shortest_paths.run ctx ~n ~weight))
+      in
+      {
+        pc_domains = sim_domains;
+        pc_wall_ms = (Unix.gettimeofday () -. t0) *. 1e3;
+        pc_makespan = r.Machine.time;
+      })
+    [ 1; 2; 4 ]
+
+let print_pdes cells =
+  let q, n = pdes_sizes in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "== Parallel simulation: shpaths n=%d on %dx%d torus (p=%d), host \
+     cores %d ==\n"
+    n q q (q * q) cores;
+  Printf.printf "%-12s %12s %14s %9s\n" "sim-domains" "wall (ms)"
+    "makespan (s)" "speedup";
+  let base = (List.hd cells).pc_wall_ms in
+  List.iter
+    (fun c ->
+      Printf.printf "%-12d %12.1f %14.6f %8.2fx\n" c.pc_domains c.pc_wall_ms
+        c.pc_makespan (base /. c.pc_wall_ms))
+    cells;
+  print_newline ()
+
+(* Guarantees of the sharded simulator, checked on this run's cells:
+   bit-identical makespan at every shard count (and against the baseline
+   dump when it pins the cell), and — on hosts with enough cores for the
+   shards to actually run in parallel — sim-domains 4 must beat the
+   sequential scheduler in wall-clock.  The speedup leg is skipped on
+   narrower hosts, where every shard shares one core and only overhead
+   would be measured. *)
+let check_pdes ?baseline cells =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  (match cells with
+  | [] -> fail "pdes: no cells ran"
+  | base :: rest ->
+      List.iter
+        (fun c ->
+          if c.pc_makespan <> base.pc_makespan then
+            fail
+              "pdes: makespan at sim-domains %d (%.6f s) differs from \
+               sequential (%.6f s)"
+              c.pc_domains c.pc_makespan base.pc_makespan)
+        rest;
+      (match baseline with
+      | None -> ()
+      | Some cells' -> (
+          match List.assoc_opt (pdes_name ^ "/makespan-ms") cells' with
+          | None -> ()
+          | Some ms ->
+              if Float.abs ((base.pc_makespan *. 1e3) -. ms) > 1e-3 then
+                fail "pdes: makespan %.4f ms differs from baseline %.4f ms"
+                  (base.pc_makespan *. 1e3)
+                  ms));
+      let cores = Domain.recommended_domain_count () in
+      if cores >= 4 then
+        match List.find_opt (fun c -> c.pc_domains = 4) cells with
+        | Some c4 when c4.pc_wall_ms >= base.pc_wall_ms ->
+            fail
+              "pdes: sim-domains 4 (%.1f ms) not faster than sequential \
+               (%.1f ms) on a %d-core host"
+              c4.pc_wall_ms base.pc_wall_ms cores
+        | _ -> ());
+  List.rev !failures
+
 (* Parse the flat JSON dump this harness writes with [--json]: one
    [  "name": 1.2345,] line per cell.  Hand-rolled on purpose — no JSON
    dependency, and the format is ours. *)
@@ -310,6 +416,11 @@ let check_estimates ?baseline ~threshold estimates =
    | Some cells ->
        List.iter
          (fun (name, base) ->
+           if String.starts_with ~prefix:"pdes/" name then
+             (* wall-clock scaling cells and host facts: checked by
+                check_pdes, not by the slowdown threshold *)
+             ()
+           else
            match find name with
            | None ->
                Printf.printf "check: %s in baseline but not in this run\n" name
@@ -455,6 +566,23 @@ let run_bechamel ~quick ~jobs ~json ~check ~threshold () =
     (fun (n, ms) -> Printf.printf "%-52s %10.3f (simulated)\n%!" n ms)
     opt_estimates;
   estimates := List.rev_append opt_estimates !estimates;
+  (* parallel-simulation strong-scaling cells ride along last: wall-clock
+     at each shard count plus the (deterministic) makespan they must all
+     reproduce, and the core count that contextualises the speedup *)
+  let pdes = pdes_cells () in
+  let pdes_estimates =
+    ("pdes/host-cores", float_of_int (Domain.recommended_domain_count ()))
+    :: (pdes_name ^ "/makespan-ms", (List.hd pdes).pc_makespan *. 1e3)
+    :: List.map
+         (fun c ->
+           (Printf.sprintf "%s/sd%d/wall-ms" pdes_name c.pc_domains,
+            c.pc_wall_ms))
+         pdes
+  in
+  List.iter
+    (fun (n, ms) -> Printf.printf "%-52s %10.3f\n%!" n ms)
+    pdes_estimates;
+  estimates := List.rev_append pdes_estimates !estimates;
   print_newline ();
   (match json with
    | None -> ()
@@ -478,6 +606,7 @@ let run_bechamel ~quick ~jobs ~json ~check ~threshold () =
          check_estimates ~baseline ~threshold (List.rev !estimates)
          @ check_collectives coll_cells coll_apps
          @ check_optimize opt_cells
+         @ check_pdes ~baseline pdes
        with
        | [] ->
            Printf.printf
@@ -569,6 +698,9 @@ let () =
      drown the tables' wall-clock in any speedup measurement of [all] *)
   if wants "collectives" then Report.print_collectives ~jobs ();
   if wants "optimize" then print_optimize (optimize_cells ());
+  (* explicit-only for the same reason as bechamel below, plus the table
+     is wall-clock and would break the jobs-N determinism diff of [all] *)
+  if List.mem "pdes" targets then print_pdes (pdes_cells ());
   if List.mem "bechamel" targets then
     run_bechamel ~quick ~jobs ~json:json_file ~check:check_file ~threshold ();
   (* tracing is opt-in and re-runs its own cell, so the timed table cells

@@ -226,7 +226,7 @@ let collectives_conv =
 let run_par_cmd =
   let run file entry args width height torus profile no_instantiate engine
       no_specialize optimize trace_out want_profile faults_spec fault_seed
-      reliable collectives =
+      reliable collectives sim_domains =
     handle_errors ~file (fun () ->
         let program, _ = load file in
         let topology =
@@ -253,7 +253,8 @@ let run_par_cmd =
         let r =
           Spmd.run ~instantiate:(not no_instantiate) ~engine
             ~specialize:(not no_specialize) ~optimize ~trace ?faults ~reliable
-            ~collectives ~cost:(Cost_model.make profile) ~topology program
+            ~collectives ~sim_domains ~cost:(Cost_model.make profile)
+            ~topology program
             ~entry
             ~args:(List.map (fun n -> Value.VInt n) args)
         in
@@ -388,13 +389,24 @@ let run_par_cmd =
                    $(b,linear).  A forced algorithm applies wherever it \
                    fits and falls back to auto selection elsewhere.")
   in
+  let sim_domains =
+    Arg.(value & opt int 1
+         & info [ "sim-domains" ] ~docv:"N"
+             ~doc:"Shard the simulated machine into $(docv) logical \
+                   processes run as a conservative parallel discrete-event \
+                   simulation on OCaml domains.  Output, simulated times, \
+                   Stats and traces are bit-identical for every $(docv); \
+                   only host wall-clock time changes.  Worker domains are \
+                   borrowed from the shared pool and clamped to the host's \
+                   cores.")
+  in
   Cmd.v
     (Cmd.info "run-par"
        ~doc:"Execute a Skil program on the simulated Parsytec machine.")
     Term.(const run $ file_arg $ entry_arg $ args_arg $ width $ height
           $ torus $ profile $ no_instantiate $ engine $ no_specialize
           $ optimize $ trace_out $ want_profile $ faults_spec $ fault_seed
-          $ reliable $ collectives)
+          $ reliable $ collectives $ sim_domains)
 
 let () =
   let doc = "the Skil compiler (HPDC '96 reproduction)" in

@@ -85,9 +85,12 @@ let destroy ctx a =
      skeleton-call overhead is charged: should anything later in this fiber
      raise, the peers can still drive the counter to zero and reclaim the
      array instead of leaking it forever. *)
-  let remaining = Machine.collective ctx (fun () -> ref (Machine.nprocs ctx)) in
-  decr remaining;
-  if !remaining = 0 then Darray.mark_destroyed a;
+  let remaining =
+    (* Atomic, not a plain ref: under [sim_domains > 1] the countdown is hit
+       from several domains (collective values are shared across shards) *)
+    Machine.collective ctx (fun () -> Atomic.make (Machine.nprocs ctx))
+  in
+  if Atomic.fetch_and_add remaining (-1) = 1 then Darray.mark_destroyed a;
   skeleton ctx
 
 (* ------------------------------------------------------------------ *)

@@ -1,7 +1,14 @@
 let seed = 1996
 
+(* Shard count for the simulated machine inside every cell (repro's
+   --sim-domains).  Results are bit-identical for any value (see
+   [Machine.run]); shards borrow workers from the same [Pool] crew the
+   cell batches use, so cells x shards can never oversubscribe the host. *)
+let sim_domains = ref 1
+
 let time_of ?collectives profile topology f =
-  (Machine.run ?collectives ~cost:(Cost_model.make profile) ~topology f)
+  (Machine.run ?collectives ~sim_domains:!sim_domains
+     ~cost:(Cost_model.make profile) ~topology f)
     .Machine.time
 
 (* Every table/figure/claim below is regenerated from a batch of
@@ -152,7 +159,7 @@ let traced_gauss_cell ?(quick = false) () =
   let w, h = (2, 2) in
   ( n,
     (w, h),
-    Machine.run ~trace:true
+    Machine.run ~trace:true ~sim_domains:!sim_domains
       ~cost:(Cost_model.make Cost_model.skil)
       ~topology:(Topology.mesh ~width:w ~height:h)
       (fun ctx -> gauss_run ctx ~n) )
@@ -399,7 +406,7 @@ let degradation ?(quick = false) ?(jobs = 1) () =
           }
     in
     let r =
-      Machine.run ?faults ~reliable:(rate > 0.0)
+      Machine.run ?faults ~reliable:(rate > 0.0) ~sim_domains:!sim_domains
         ~cost:(Cost_model.make Cost_model.skil)
         ~topology:topo f
     in
@@ -603,14 +610,16 @@ let collectives_crossover ?(jobs = 1) () =
               List.map
                 (fun (_, a) () ->
                   ( (Machine.run ~collectives:(Coll_alg.Force a) ~cost
-                       ~topology (coll_body kind ~bytes))
+                       ~sim_domains:!sim_domains ~topology
+                       (coll_body kind ~bytes))
                       .Machine.time,
                     "" ))
                 algs
               @ [
                   (fun () ->
                     let r =
-                      Machine.run ~collectives:Coll_alg.Auto ~cost ~topology
+                      Machine.run ~collectives:Coll_alg.Auto ~cost
+                        ~sim_domains:!sim_domains ~topology
                         (coll_body kind ~bytes)
                     in
                     (r.Machine.time, chosen_of r.Machine.stats));

@@ -7,6 +7,11 @@
     number of domains used.  Whatever [jobs] is, results are bit-identical —
     only wall-clock time changes. *)
 
+val sim_domains : int ref
+(** Shard count handed to every cell's [Machine.run] (repro's
+    [--sim-domains]; default 1).  Bit-identical results for any value;
+    shards borrow the same {!Pool} crew the cell batches use. *)
+
 (** {1 Table 1 — shortest paths} *)
 
 type sp_row = {

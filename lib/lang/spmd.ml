@@ -2,7 +2,8 @@ type outcome = { value : Value.t; printed : string }
 type engine = [ `Ast | `Compiled ]
 type optimize = [ `None | `Fuse ]
 
-let run ?cost ?trace ?faults ?reliable ?collectives ?(instantiate = true)
+let run ?cost ?trace ?faults ?reliable ?collectives ?sim_domains
+    ?(instantiate = true)
     ?(engine = `Compiled) ?(specialize = true) ?(optimize = `None) ~topology
     program ~entry ~args =
   let tyenv = Typecheck.check program in
@@ -28,8 +29,8 @@ let run ?cost ?trace ?faults ?reliable ?collectives ?(instantiate = true)
   in
   match engine with
   | `Ast ->
-      Machine.run ?cost ?trace ?faults ?reliable ?collectives ~topology
-        (fun ctx ->
+      Machine.run ?cost ?trace ?faults ?reliable ?collectives ?sim_domains
+        ~topology (fun ctx ->
           let st = Interp.make ~backend:(`Par ctx) ~tyenv program in
           let value = Interp.call st entry args in
           { value; printed = Interp.output st })
@@ -37,13 +38,13 @@ let run ?cost ?trace ?faults ?reliable ?collectives ?(instantiate = true)
       (* translate once; the closure code is shared by all processors,
          per-processor state is handed in at call time *)
       let compiled = Compile.program ~tyenv ~specialize program in
-      Machine.run ?cost ?trace ?faults ?reliable ?collectives ~topology
-        (fun ctx ->
+      Machine.run ?cost ?trace ?faults ?reliable ?collectives ?sim_domains
+        ~topology (fun ctx ->
           let st = Interp.make ~backend:(`Par ctx) ~tyenv program in
           let value = Compile.call compiled st entry args in
           { value; printed = Interp.output st })
 
-let run_source ?cost ?trace ?faults ?reliable ?collectives ?instantiate
-    ?engine ?specialize ?optimize ~topology source ~entry ~args =
-  run ?cost ?trace ?faults ?reliable ?collectives ?instantiate ?engine
-    ?specialize ?optimize ~topology (Parser.parse source) ~entry ~args
+let run_source ?cost ?trace ?faults ?reliable ?collectives ?sim_domains
+    ?instantiate ?engine ?specialize ?optimize ~topology source ~entry ~args =
+  run ?cost ?trace ?faults ?reliable ?collectives ?sim_domains ?instantiate
+    ?engine ?specialize ?optimize ~topology (Parser.parse source) ~entry ~args

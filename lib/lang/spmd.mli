@@ -29,6 +29,7 @@ val run :
   ?faults:Fault.plan ->
   ?reliable:bool ->
   ?collectives:Coll_alg.mode ->
+  ?sim_domains:int ->
   ?instantiate:bool ->
   ?engine:engine ->
   ?specialize:bool ->
@@ -59,7 +60,11 @@ val run :
     [collectives] (default [Legacy]) picks the collective-algorithm mode
     (see {!Machine.run}): [Legacy] keeps the seed's binomial trees and is
     byte-identical to historical output; [Auto] selects per call from the
-    cost model; [Force _] pins one algorithm. *)
+    cost model; [Force _] pins one algorithm.
+
+    [sim_domains] (default 1) shards the simulated machine across OCaml
+    domains — results are bit-identical for every value (see
+    {!Machine.run}); only host wall-clock time changes. *)
 
 val run_source :
   ?cost:Cost_model.t ->
@@ -67,6 +72,7 @@ val run_source :
   ?faults:Fault.plan ->
   ?reliable:bool ->
   ?collectives:Coll_alg.mode ->
+  ?sim_domains:int ->
   ?instantiate:bool ->
   ?engine:engine ->
   ?specialize:bool ->

@@ -37,11 +37,36 @@ val run :
   ?faults:Fault.plan ->
   ?reliable:bool ->
   ?collectives:Coll_alg.mode ->
+  ?sim_domains:int ->
   topology:Topology.t ->
   (ctx -> 'r) ->
   'r result
 (** Run an SPMD program on every processor of [topology].  [trace] (default
     false) records per-processor activity intervals (see {!Trace}).
+
+    [sim_domains] (default 1) shards the simulated processors into up to
+    that many contiguous-rank logical processes, run as a conservative
+    parallel discrete-event simulation on OCaml domains borrowed from
+    {!Pool}'s crew.  Results — values, clocks, makespan, stats, traces —
+    are bit-identical to the sequential scheduler for every [sim_domains]:
+    exact receives form a Kahn network (deterministic under any
+    interleaving) and {!recv_any} commits a candidate only when per-link
+    lookahead (latency + hop distance, scaled by the fault plan's smallest
+    delay factor) proves no earlier arrival can still appear, parking until
+    global quiescence otherwise.  The logical shard count is always
+    honoured; only the number of backing worker domains is clamped to the
+    host (see {!Pool.ensure_workers}), so determinism tests at
+    [sim_domains > 1] are meaningful even on a single-core host.
+
+    {!recv_any} — the only source-nondeterministic primitive — uses one
+    rule in both engines: the earliest simulated arrival wins, ties broken
+    by source rank then enqueue order, and a candidate is committed only
+    once lookahead proves no earlier arrival can still appear.  When no
+    candidate is provably final the receiver parks; at global idle the
+    lowest-ranked parked receiver is granted its earliest deliverable
+    message.  The winner is therefore a pure function of simulated arrival
+    times, never of host scheduling — which is exactly what makes the
+    shard count unobservable.
 
     [faults] installs a deterministic {!Fault.plan}: messages may be
     dropped, duplicated, corruption-flagged or delayed, processors may

@@ -90,6 +90,32 @@ let blocked_ids t =
   done;
   !acc
 
+(* Drain the runnable queue and return.  Unlike [run], an empty queue with
+   unfinished fibers is not a deadlock here: a PDES shard goes idle whenever
+   its fibers all wait on messages from other shards, and is re-run once a
+   cross-shard delivery wakes one of them.  Global stall detection is the
+   shard coordinator's job (it sees every shard idle at once). *)
+let run_until_idle t =
+  let continue_ = ref true in
+  while !continue_ do
+    match Queue.take_opt t.runnable with
+    | None -> continue_ := false
+    | Some id -> (
+        t.current <- id;
+        (match t.fibers.(id) with
+         | Ready f ->
+             t.fibers.(id) <- Running;
+             Effect.Deep.match_with f () (handler t id)
+         | Suspended k ->
+             t.fibers.(id) <- Running;
+             Effect.Deep.continue k ()
+         | Running -> assert false
+         | Finished -> ());
+        t.current <- -1)
+  done
+
+let all_finished t = t.finished >= t.nfibers
+
 let run t =
   while t.finished < t.nfibers do
     match Queue.take_opt t.runnable with

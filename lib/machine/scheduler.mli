@@ -38,3 +38,14 @@ val run : t -> unit
 (** Run all fibers to completion.
     @raise Deadlock if blocked fibers remain with nothing runnable.
     Exceptions escaping a fiber propagate out of [run]. *)
+
+val run_until_idle : t -> unit
+(** Run fibers until the runnable queue is empty, then return — blocked
+    fibers are left suspended, not reported as a deadlock.  Used by PDES
+    shards, which go idle while waiting on other shards' messages and are
+    re-run after a cross-shard wake; exceptions escaping a fiber propagate.
+    Suspended continuations may be resumed from a different domain than the
+    one that captured them (one shard, one domain at a time). *)
+
+val all_finished : t -> bool
+(** All spawned fibers have run to completion. *)

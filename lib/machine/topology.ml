@@ -134,6 +134,26 @@ let torus_neighbor t rank dir =
 
 let square_side t = if t.width = t.height then Some t.width else None
 
+(* Order-sensitive checksum of the precomputed read-only tables.  A sharded
+   [Machine.run] publishes one topology value to every domain and asserts
+   the digest is unchanged when the run completes — the tables are memo
+   caches on the per-message hot path, so an accidental mutation would
+   silently corrupt hop costs (and the PDES lookahead bounds derived from
+   them) instead of crashing.  Plain int arithmetic, no truncation (unlike
+   [Hashtbl.hash], which stops after a few nodes). *)
+let digest t =
+  let h = ref (0x9e3779b9 land max_int) in
+  let mix v = h := ((!h * 31) + v) land max_int in
+  mix t.width;
+  mix t.height;
+  Array.iter
+    (fun (x, y) ->
+      mix x;
+      mix y)
+    t.position;
+  Array.iter mix t.dist;
+  !h
+
 let pp ppf t =
   let k =
     match t.kind with

@@ -62,4 +62,12 @@ val square_side : t -> int option
 (** [Some s] iff the processor grid is square with side [s] (needed by
     Gentleman's algorithm). *)
 
+val digest : t -> int
+(** Checksum of the precomputed position/hop-distance tables.  A topology
+    value is immutable after {!create}, so it (and the {!Coll_alg.net}
+    predictor tables derived from it) is shared read-only across the
+    domains of a sharded [Machine.run]; the machine asserts the digest is
+    unchanged after the run to pin the no-mutation-after-publication
+    contract. *)
+
 val pp : Format.formatter -> t -> unit

@@ -44,36 +44,60 @@ type span = {
   mutable ops_scalar : int;
 }
 
+(* Buffers are per recording processor so that a PDES run sharded across
+   domains records without any cross-domain contention: every append touches
+   only the acting processor's own cell.  Readers see the canonical
+   processor-major order (proc 0's records first, each in program order) —
+   and since each processor's program order is deterministic, the exported
+   streams are bit-identical whatever the shard count or domain interleaving
+   was.  The last slot is an overflow bucket for out-of-range ids. *)
 type t = {
   enabled : bool;
-  mutable events : event list; (* reversed *)
-  mutable msgs : message list; (* reversed *)
-  mutable span_list : span list; (* reversed, in begin order *)
-  mutable faults : fault_event list; (* reversed *)
+  pevents : event list array; (* per proc, reversed *)
+  pmsgs : message list array; (* per sender, reversed (send order) *)
+  pspans : span list array; (* per proc, reversed, in begin order *)
+  pfaults : fault_event list array; (* per observer, reversed *)
 }
 
-let create ~enabled =
-  { enabled; events = []; msgs = []; span_list = []; faults = [] }
+let create ~enabled ~nprocs =
+  let n = max 1 nprocs + 1 in
+  {
+    enabled;
+    pevents = Array.make n [];
+    pmsgs = Array.make n [];
+    pspans = Array.make n [];
+    pfaults = Array.make n [];
+  }
+
+let slot t p = if p >= 0 && p < Array.length t.pevents - 1 then p
+               else Array.length t.pevents - 1
 
 let enabled t = t.enabled
 
 let record t ~proc ~start ~duration kind =
-  if t.enabled && duration > 0.0 then
-    t.events <- { proc; start; duration; kind } :: t.events
+  if t.enabled && duration > 0.0 then begin
+    let i = slot t proc in
+    t.pevents.(i) <- { proc; start; duration; kind } :: t.pevents.(i)
+  end
 
 let record_send t ~src ~dst ~tag ~bytes ~hops ~sent ~arrival =
   if not t.enabled then None
   else begin
     let m = { src; dst; tag; bytes; hops; sent; arrival; received = -1.0 } in
-    t.msgs <- m :: t.msgs;
+    let i = slot t src in
+    t.pmsgs.(i) <- m :: t.pmsgs.(i);
     Some m
   end
 
 let mark_received m ~time = m.received <- time
 
 let record_fault t ~kind ~proc ?(peer = -1) ?(tag = -1) ~time () =
-  if t.enabled then
-    t.faults <- { fkind = kind; fproc = proc; fpeer = peer; ftag = tag; ftime = time } :: t.faults
+  if t.enabled then begin
+    let i = slot t proc in
+    t.pfaults.(i) <-
+      { fkind = kind; fproc = proc; fpeer = peer; ftag = tag; ftime = time }
+      :: t.pfaults.(i)
+  end
 
 let span_begin t ~proc ~cat ~name ~start =
   let s =
@@ -88,7 +112,10 @@ let span_begin t ~proc ~cat ~name ~start =
       ops_scalar = 0;
     }
   in
-  if t.enabled then t.span_list <- s :: t.span_list;
+  if t.enabled then begin
+    let i = slot t proc in
+    t.pspans.(i) <- s :: t.pspans.(i)
+  end;
   s
 
 let span_end s ~stop = s.sstop <- stop
@@ -99,10 +126,13 @@ let span_add_ops s cls n =
   | Cost_model.Mapped -> s.ops_mapped <- s.ops_mapped + n
   | Cost_model.Scalar -> s.ops_scalar <- s.ops_scalar + n
 
-let events t = List.rev t.events
-let messages t = List.rev t.msgs
-let spans t = List.rev t.span_list
-let fault_events t = List.rev t.faults
+(* processor-major, each processor's records in program (append) order *)
+let merge buckets = Array.fold_right List.rev_append buckets []
+
+let events t = merge t.pevents
+let messages t = merge t.pmsgs
+let spans t = merge t.pspans
+let fault_events t = merge t.pfaults
 
 let queue_delay m =
   if m.received < 0.0 then 0.0 else Float.max 0.0 (m.received -. m.arrival)
@@ -110,15 +140,17 @@ let queue_delay m =
 let busy_fraction t ~proc ~makespan =
   if makespan <= 0.0 then 0.0
   else
+    let i = slot t proc in
     List.fold_left
       (fun acc e ->
         if e.proc = proc && e.kind = Compute then acc +. e.duration else acc)
-      0.0 t.events
+      0.0 t.pevents.(i)
     /. makespan
 
 let timeline ?(width = 60) t ~nprocs ~makespan =
   if makespan <= 0.0 then "(no simulated time passed)\n"
   else begin
+    let all = events t in
     let grid = Array.make_matrix nprocs width ' ' in
     let mark e =
       let c =
@@ -145,11 +177,11 @@ let timeline ?(width = 60) t ~nprocs ~makespan =
           if rank c > rank cur then grid.(e.proc).(b) <- c
       done
     in
-    List.iter mark t.events;
+    List.iter mark all;
     let buf = Buffer.create (nprocs * (width + 16)) in
     (* mention the stall glyph only when stalls were injected, so fault-free
        timelines stay byte-identical to pre-fault builds *)
-    let stalled = List.exists (fun e -> e.kind = Stall) t.events in
+    let stalled = List.exists (fun e -> e.kind = Stall) all in
     Buffer.add_string buf
       (Printf.sprintf "timeline over %.4f s  (#=compute  .=wait  +=overhead%s)\n"
          makespan

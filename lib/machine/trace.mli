@@ -82,7 +82,12 @@ type span = {
 
 type t
 
-val create : enabled:bool -> t
+val create : enabled:bool -> nprocs:int -> t
+(** Buffers are kept per recording processor (so a PDES-sharded run appends
+    without cross-domain contention) and read back in canonical
+    processor-major order, which makes exported traces independent of the
+    shard count and domain interleaving. *)
+
 val enabled : t -> bool
 
 (** {1 Recording} — called by [Machine]; no-ops when disabled *)
@@ -111,16 +116,16 @@ val span_add_ops : span -> Cost_model.op_class -> int -> unit
 (** {1 Reading} *)
 
 val events : t -> event list
-(** In recording order. *)
+(** Processor-major; each processor's events in recording order. *)
 
 val messages : t -> message list
-(** In send order. *)
+(** Sender-major; each sender's messages in send order. *)
 
 val spans : t -> span list
-(** In begin order. *)
+(** Processor-major; each processor's spans in begin order. *)
 
 val fault_events : t -> fault_event list
-(** In recording order; empty for fault-free runs. *)
+(** Observer-major, each in recording order; empty for fault-free runs. *)
 
 val queue_delay : message -> float
 (** Seconds the message sat delivered-but-unconsumed at the receiver
