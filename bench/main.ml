@@ -355,6 +355,113 @@ let check_pdes ?baseline cells =
         | _ -> ());
   List.rev !failures
 
+(* ------------------------------------------------------------------ *)
+(* Native execution: the same compiled closures on real OCaml domains
+   (shared-memory channels, no simulated clock) against the compiled
+   simulator that is their oracle.  Values and printed output are pinned
+   bit-identical by the test suite; here only the wall clock is measured.
+   One heavy cell per app (2x2 = 4 ranks, the largest grid shpaths' final
+   print loop stays local on), native at 1/2/4 domains plus the simulator
+   reference. *)
+
+type native_cell = {
+  xc_app : string;
+  xc_n : int;
+  xc_domains : int; (* 0 = compiled-simulator reference *)
+  xc_wall_ms : float;
+}
+
+(* (app, file, entry, n, torus?, asserted): [asserted] marks the cell heavy
+   enough for the cores-gated speedup guarantee — jacobi at n=256 is a few
+   milliseconds of compute and only rides along as a data point. *)
+let native_specs =
+  [
+    ("shpaths", "shpaths.skil", "shpaths", 192, true, true);
+    ("jacobi", "jacobi.skil", "jacobi", 256, false, false);
+  ]
+
+let native_name app n = Printf.sprintf "native/%s-n%d" app n
+let native_domain_counts = [ 1; 2; 4 ]
+
+let native_cells () =
+  List.concat_map
+    (fun (app, file, entry, n, torus, _) ->
+      let src = skil_source file in
+      let topology =
+        if torus then Topology.torus2d ~width:2 ~height:2 ()
+        else Topology.mesh ~width:2 ~height:2
+      in
+      let wall engine ?native_domains () =
+        let t0 = Unix.gettimeofday () in
+        ignore
+          (Spmd.run_source ~engine ?native_domains ~topology src ~entry
+             ~args:[ Value.VInt n ]);
+        (Unix.gettimeofday () -. t0) *. 1e3
+      in
+      { xc_app = app; xc_n = n; xc_domains = 0;
+        xc_wall_ms = wall `Compiled () }
+      :: List.map
+           (fun d ->
+             { xc_app = app; xc_n = n; xc_domains = d;
+               xc_wall_ms = wall `Native ~native_domains:d () })
+           native_domain_counts)
+    native_specs
+
+let print_native cells =
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "== Native execution: .skil programs on real domains (2x2 = 4 ranks), \
+     host cores %d ==\n"
+    cores;
+  Printf.printf "%-16s %-12s %12s %9s\n" "app" "backend" "wall (ms)"
+    "speedup";
+  List.iter
+    (fun (app, _, _, n, _, _) ->
+      let mine = List.filter (fun c -> c.xc_app = app) cells in
+      let sim =
+        List.find (fun c -> c.xc_domains = 0) mine
+      in
+      List.iter
+        (fun c ->
+          Printf.printf "%-16s %-12s %12.1f %8.2fx\n"
+            (Printf.sprintf "%s n=%d" app n)
+            (if c.xc_domains = 0 then "sim"
+             else Printf.sprintf "native d=%d" c.xc_domains)
+            c.xc_wall_ms
+            (sim.xc_wall_ms /. c.xc_wall_ms))
+        mine)
+    native_specs;
+  print_newline ()
+
+(* The backend's raison d'etre, checked on hosts wide enough to show it:
+   with 4 real cores, native at 4 domains must beat the compiled simulator
+   (which runs all ranks on one core) on every asserted cell.  Narrower
+   hosts skip the leg — there native only adds channel overhead. *)
+let check_native cells =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  if cells = [] then fail "native: no cells ran";
+  let cores = Domain.recommended_domain_count () in
+  if cores >= 4 then
+    List.iter
+      (fun (app, _, _, _, _, asserted) ->
+        if asserted then
+          let find d =
+            List.find_opt
+              (fun c -> c.xc_app = app && c.xc_domains = d)
+              cells
+          in
+          match (find 0, find 4) with
+          | Some sim, Some n4 ->
+              if n4.xc_wall_ms >= sim.xc_wall_ms then
+                fail
+                  "native: %s at 4 domains (%.1f ms) not faster than the \
+                   compiled simulator (%.1f ms) on a %d-core host"
+                  app n4.xc_wall_ms sim.xc_wall_ms cores
+          | _ -> fail "native: %s cells missing from this run" app)
+      native_specs;
+  List.rev !failures
+
 (* Parse the flat JSON dump this harness writes with [--json]: one
    [  "name": 1.2345,] line per cell.  Hand-rolled on purpose — no JSON
    dependency, and the format is ours. *)
@@ -416,9 +523,12 @@ let check_estimates ?baseline ~threshold estimates =
    | Some cells ->
        List.iter
          (fun (name, base) ->
-           if String.starts_with ~prefix:"pdes/" name then
+           if
+             String.starts_with ~prefix:"pdes/" name
+             || String.starts_with ~prefix:"native/" name
+           then
              (* wall-clock scaling cells and host facts: checked by
-                check_pdes, not by the slowdown threshold *)
+                check_pdes / check_native, not by the slowdown threshold *)
              ()
            else
            match find name with
@@ -583,6 +693,25 @@ let run_bechamel ~quick ~jobs ~json ~check ~threshold () =
     (fun (n, ms) -> Printf.printf "%-52s %10.3f\n%!" n ms)
     pdes_estimates;
   estimates := List.rev_append pdes_estimates !estimates;
+  (* native-backend strong-scaling cells: wall-clock per domain count next
+     to the compiled-simulator reference (values pinned equal by the tests) *)
+  let native = native_cells () in
+  let native_estimates =
+    List.map
+      (fun c ->
+        ( (if c.xc_domains = 0 then
+             native_name c.xc_app c.xc_n ^ "/sim/wall-ms"
+           else
+             Printf.sprintf "%s/d%d/wall-ms"
+               (native_name c.xc_app c.xc_n)
+               c.xc_domains),
+          c.xc_wall_ms ))
+      native
+  in
+  List.iter
+    (fun (n, ms) -> Printf.printf "%-52s %10.3f\n%!" n ms)
+    native_estimates;
+  estimates := List.rev_append native_estimates !estimates;
   print_newline ();
   (match json with
    | None -> ()
@@ -607,6 +736,7 @@ let run_bechamel ~quick ~jobs ~json ~check ~threshold () =
          @ check_collectives coll_cells coll_apps
          @ check_optimize opt_cells
          @ check_pdes ~baseline pdes
+         @ check_native native
        with
        | [] ->
            Printf.printf
@@ -701,6 +831,7 @@ let () =
   (* explicit-only for the same reason as bechamel below, plus the table
      is wall-clock and would break the jobs-N determinism diff of [all] *)
   if List.mem "pdes" targets then print_pdes (pdes_cells ());
+  if List.mem "native" targets then print_native (native_cells ());
   if List.mem "bechamel" targets then
     run_bechamel ~quick ~jobs ~json:json_file ~check:check_file ~threshold ();
   (* tracing is opt-in and re-runs its own cell, so the timed table cells

@@ -114,7 +114,7 @@ let instantiate_cmd =
 (* ---------------- emit-c ---------------- *)
 
 let emit_cmd =
-  let run file entry optimize =
+  let run file entry optimize standalone args =
     handle_errors ~file (fun () ->
         (* The C emitter is kept on the unoptimized AST on purpose: fused
            argument functions and array_create_const have no counterpart in
@@ -131,7 +131,9 @@ let emit_cmd =
              exit 2);
         let program, env = load file in
         let fo = Instantiate.program env program ~entries:[ entry ] in
-        print_string (Emit_c.program fo))
+        if standalone then
+          print_string (Emit_c.standalone fo ~entry ~args)
+        else print_string (Emit_c.program fo))
   in
   let optimize =
     Arg.(value
@@ -141,10 +143,19 @@ let emit_cmd =
                    $(b,none) is valid here (the back end emits the \
                    unoptimized program).")
   in
+  let standalone =
+    Arg.(value & flag
+         & info [ "standalone" ]
+             ~doc:"Emit a complete single-processor C program (sequential \
+                   skeleton runtime and a $(b,main) driver included) whose \
+                   output matches $(b,run-par --width 1 --height 1) for the \
+                   same $(b,--entry) and $(b,--arg)s; compile it with any C \
+                   compiler, no skil_runtime needed.")
+  in
   Cmd.v
     (Cmd.info "emit-c"
        ~doc:"Print the message-passing C the compiler back end would emit.")
-    Term.(const run $ file_arg $ entry_arg $ optimize)
+    Term.(const run $ file_arg $ entry_arg $ optimize $ standalone $ args_arg)
 
 (* ---------------- runtime header ---------------- *)
 
@@ -195,13 +206,17 @@ let engine_conv =
   let parse = function
     | "ast" -> Ok `Ast
     | "compiled" -> Ok `Compiled
+    | "native" -> Ok `Native
     | s -> Error (`Msg ("unknown engine " ^ s))
   in
   Arg.conv
     ( parse,
       fun ppf e ->
         Format.fprintf ppf "%s"
-          (match e with `Ast -> "ast" | `Compiled -> "compiled") )
+          (match e with
+          | `Ast -> "ast"
+          | `Compiled -> "compiled"
+          | `Native -> "native") )
 
 let optimize_conv =
   let parse = function
@@ -226,7 +241,7 @@ let collectives_conv =
 let run_par_cmd =
   let run file entry args width height torus profile no_instantiate engine
       no_specialize optimize trace_out want_profile faults_spec fault_seed
-      reliable collectives sim_domains =
+      reliable collectives sim_domains native_domains chan_cap =
     handle_errors ~file (fun () ->
         let program, _ = load file in
         let topology =
@@ -253,8 +268,8 @@ let run_par_cmd =
         let r =
           Spmd.run ~instantiate:(not no_instantiate) ~engine
             ~specialize:(not no_specialize) ~optimize ~trace ?faults ~reliable
-            ~collectives ~sim_domains ~cost:(Cost_model.make profile)
-            ~topology program
+            ~collectives ~sim_domains ?chan_cap ?native_domains
+            ~cost:(Cost_model.make profile) ~topology program
             ~entry
             ~args:(List.map (fun n -> Value.VInt n) args)
         in
@@ -263,8 +278,13 @@ let run_par_cmd =
             if o.Spmd.printed <> "" then
               Printf.printf "[proc %d] %s\n" i o.Spmd.printed)
           r.Machine.values;
-        Printf.printf "simulated time: %.4f s (%s, %d processors)\n"
-          r.Machine.time profile.Cost_model.profile_name nprocs;
+        (match engine with
+         | `Native ->
+             Printf.printf "wall-clock time: %.4f s (native, %d processors)\n"
+               r.Machine.time nprocs
+         | `Ast | `Compiled ->
+             Printf.printf "simulated time: %.4f s (%s, %d processors)\n"
+               r.Machine.time profile.Cost_model.profile_name nprocs);
         Format.printf "%a@." Stats.pp_summary r.Machine.stats;
         (match trace_out with
          | Some file ->
@@ -309,9 +329,14 @@ let run_par_cmd =
          & opt engine_conv `Compiled
          & info [ "engine" ] ~docv:"E"
              ~doc:"Execution engine: $(b,compiled) (translate function \
-                   bodies to closures once, the default) or $(b,ast) (the \
-                   reference tree-walking interpreter).  Both produce \
-                   bit-identical output and simulated times.")
+                   bodies to closures once, the default), $(b,ast) (the \
+                   reference tree-walking interpreter; bit-identical to \
+                   compiled), or $(b,native) (the compiled closures \
+                   executed with real parallelism on OCaml domains: \
+                   wall-clock time instead of a simulated makespan, values \
+                   identical to the simulator for deterministic-order \
+                   programs; incompatible with --faults/--reliable/\
+                   --trace-out/--profile/--sim-domains).")
   in
   let no_specialize =
     Arg.(value & flag
@@ -400,13 +425,32 @@ let run_par_cmd =
                    borrowed from the shared pool and clamped to the host's \
                    cores.")
   in
+  let native_domains =
+    Arg.(value
+         & opt (some int) None
+         & info [ "native-domains" ] ~docv:"N"
+             ~doc:"Native engine only: block the ranks into $(docv) \
+                   contiguous groups, each a unit of real parallelism \
+                   (default: one rank per group).  Worker domains are \
+                   borrowed from the shared pool and clamped to the host's \
+                   cores; the logical grouping is always honoured.")
+  in
+  let chan_cap =
+    Arg.(value
+         & opt (some int) None
+         & info [ "chan-cap" ] ~docv:"N"
+             ~doc:"Native engine only: per-link ring-buffer capacity in \
+                   messages (default 256, rounded up to a power of two). \
+                   Senders block fiber-style when a ring is full.")
+  in
   Cmd.v
     (Cmd.info "run-par"
-       ~doc:"Execute a Skil program on the simulated Parsytec machine.")
+       ~doc:"Execute a Skil program on the simulated Parsytec machine, or \
+             with real parallelism under $(b,--engine native).")
     Term.(const run $ file_arg $ entry_arg $ args_arg $ width $ height
           $ torus $ profile $ no_instantiate $ engine $ no_specialize
           $ optimize $ trace_out $ want_profile $ faults_spec $ fault_seed
-          $ reliable $ collectives $ sim_domains)
+          $ reliable $ collectives $ sim_domains $ native_domains $ chan_cap)
 
 let () =
   let doc = "the Skil compiler (HPDC '96 reproduction)" in

@@ -139,13 +139,58 @@ let used_named_types program =
       | _ -> acc)
     [] program
 
+(* ---------------- standalone dialect ---------------- *)
+
+(* C rendering for the standalone single-processor mode ({!standalone}):
+   Skil [int] is 63-bit in the simulator, so it widens to a 64-bit C
+   integer; Skil [float] literals and arithmetic are OCaml doubles, so it
+   maps to [double] (the printed %g output then byte-matches).  Everything
+   else follows {!mangle_type}. *)
+let rec stype = function
+  | Ast.TInt -> "skil_int"
+  | Ast.TFloat -> "double"
+  | Ast.TChar -> "char"
+  | Ast.TVoid -> "void"
+  | Ast.TString -> "const char *"
+  | Ast.TIndex -> "Index"
+  | Ast.TBounds -> "Bounds"
+  | Ast.TPtr t -> stype t ^ " *"
+  | Ast.TVar _ | Ast.TMeta _ -> "skil_int"
+  | Ast.TFun (_, _) -> "void *"
+  | Ast.TNamed ("array", [ t ]) -> flat t ^ "array"
+  | Ast.TNamed (n, []) -> n
+  | Ast.TNamed (n, args) when String.length n > 7 && String.sub n 0 7 = "struct "
+    ->
+      "struct " ^ strip n ^ "_" ^ String.concat "_" (List.map flat args)
+  | Ast.TNamed (n, args) -> n ^ "_" ^ String.concat "_" (List.map flat args)
+
 (* ---------------- expressions ---------------- *)
+
+(* Structured record of one numbered skeleton instance, kept only in
+   standalone mode where the instance *bodies* must be generated too. *)
+type sfun =
+  | SOp of string (* operator section, e.g. "+" *)
+  | SFn of string * int (* callee and number of lifted arguments *)
+
+type sinst = {
+  si_name : string; (* array_map_1 *)
+  si_skel : string; (* array_map *)
+  si_funs : (int * sfun) list; (* functional argument positions *)
+}
+
+type smode = {
+  mutable sinsts : sinst list;
+  mutable sgeneric : string list; (* skeletons called with bare functions *)
+}
 
 type ectx = {
   buf : Buffer.t;
   mutable instances : (string * string) list; (* comment, signature line *)
   mutable counter : int;
+  smode : smode option; (* Some: standalone dialect *)
 }
+
+let ctype ec t = match ec.smode with Some _ -> stype t | None -> mangle_type t
 
 let float_literal f =
   let s = Printf.sprintf "%g" f in
@@ -170,8 +215,14 @@ let rec expr ec (e : Ast.expr) =
   | Ast.Field (a, f) -> Printf.sprintf "%s.%s" (expr ec a) f
   | Ast.Arrow (a, f) -> Printf.sprintf "%s->%s" (expr ec a) f
   | Ast.Deref a -> Printf.sprintf "(*%s)" (expr ec a)
-  | Ast.ArrayLit es ->
-      "{" ^ String.concat "," (List.map (expr ec) es) ^ "}"
+  | Ast.ArrayLit es -> (
+      let body = String.concat "," (List.map (expr ec) es) in
+      (* Skil array literals only ever build Index values; as C function
+         arguments they must be compound literals, which the historical
+         translation leaves to the reader but a compilable program needs *)
+      match ec.smode with
+      | Some _ -> "(skil_int[]){" ^ body ^ "}"
+      | None -> "{" ^ body ^ "}")
   | Ast.Cond (c, a, b) ->
       Printf.sprintf "(%s ? %s : %s)" (expr ec c) (expr ec a) (expr ec b)
   | Ast.New a -> Printf.sprintf "skil_new(%s)" (expr ec a)
@@ -211,7 +262,12 @@ and call ec f args =
                   | _, None -> false)
           descrs
       in
-      if not (needs_instance) then plain_call ec (expr ec f) args
+      if not (needs_instance) then begin
+        (match ec.smode with
+        | Some m -> m.sgeneric <- name :: m.sgeneric
+        | None -> ());
+        plain_call ec (expr ec f) args
+      end
       else begin
         ec.counter <- ec.counter + 1;
         let iname = Printf.sprintf "%s_%d" name ec.counter in
@@ -234,6 +290,24 @@ and call ec f args =
                     (function _, Some (g, _) -> Some g | _, None -> None)
                     descrs)) )
           :: ec.instances;
+        (match ec.smode with
+        | Some m ->
+            let si_funs =
+              List.concat
+                (List.mapi
+                   (fun i -> function
+                     | _, Some (g, lifted) ->
+                         let sf =
+                           if g.[0] = '(' then
+                             SOp (String.sub g 1 (String.length g - 2))
+                           else SFn (g, List.length lifted)
+                         in
+                         [ (i, sf) ]
+                     | _, None -> [])
+                   descrs)
+            in
+            m.sinsts <- { si_name = iname; si_skel = name; si_funs } :: m.sinsts
+        | None -> ());
         Printf.sprintf "%s (%s)" iname
           (String.concat ", " (lifted_args @ data_args))
       end
@@ -249,7 +323,7 @@ let rec stmt ec indent s =
   match s with
   | Ast.SExpr e -> pad ^ expr ec e ^ ";\n"
   | Ast.SDecl (t, n, init) ->
-      pad ^ mangle_type t ^ " " ^ n
+      pad ^ ctype ec t ^ " " ^ n
       ^ (match init with Some e -> " = " ^ expr ec e | None -> "")
       ^ ";\n"
   | Ast.SIf (c, a, []) ->
@@ -265,7 +339,7 @@ let rec stmt ec indent s =
       let istr =
         match i with
         | Some (Ast.SDecl (t, n, Some e)) ->
-            mangle_type t ^ " " ^ n ^ " = " ^ expr ec e
+            ctype ec t ^ " " ^ n ^ " = " ^ expr ec e
         | Some (Ast.SExpr e) -> expr ec e
         | Some _ | None -> ""
       in
@@ -354,7 +428,7 @@ let program (prog : Ast.program) =
     "/* generated by the Skil compiler (translation by instantiation) */\n";
   Buffer.add_string buf "#include \"skil_runtime.h\"\n\n";
   emit_type_instances buf prog;
-  let ec = { buf; instances = []; counter = 0 } in
+  let ec = { buf; instances = []; counter = 0; smode = None } in
   let bodies = Buffer.create 4096 in
   List.iter
     (function
@@ -377,4 +451,510 @@ let program (prog : Ast.program) =
     (List.rev ec.instances);
   Buffer.add_char buf '\n';
   Buffer.add_buffer buf bodies;
+  Buffer.contents buf
+
+(* ---------------- standalone single-processor mode ---------------- *)
+
+(* Where {!program} prints the historical translation (skeleton bodies live
+   in a precompiled runtime the reader does not see), {!standalone} emits a
+   COMPLETE C program: the same instantiated Skil functions, plus a
+   sequential (p = 1) implementation of every skeleton and builtin the
+   program touches, the generated bodies of the numbered skeleton
+   instances, and a [main] driver that runs the entry point and frames its
+   output exactly like [skilc run-par --width 1 --height 1] — so compiling
+   with [cc] and byte-diffing against the simulator closes the loop on the
+   C back end. *)
+
+let find_func prog name =
+  List.find_map
+    (function
+      | Ast.TFunc f when f.Ast.f_name = name -> Some f
+      | _ -> None)
+    prog
+
+let take k xs = List.filteri (fun i _ -> i < k) xs
+
+(* every name the program references (function heads and plain variables);
+   [new] is recorded as its runtime hook skil_new *)
+let rec expr_names acc (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Var x -> if List.mem x acc then acc else x :: acc
+  | Ast.Int _ | Ast.Float _ | Ast.Str _ | Ast.Chr _ | Ast.OpSection _ -> acc
+  | Ast.Call (f, args) -> List.fold_left expr_names (expr_names acc f) args
+  | Ast.Binop (_, a, b) | Ast.Assign (a, b) | Ast.Idx (a, b) ->
+      expr_names (expr_names acc a) b
+  | Ast.Unop (_, a) | Ast.Field (a, _) | Ast.Arrow (a, _) | Ast.Deref a ->
+      expr_names acc a
+  | Ast.New a ->
+      expr_names (if List.mem "skil_new" acc then acc else "skil_new" :: acc) a
+  | Ast.ArrayLit es -> List.fold_left expr_names acc es
+  | Ast.Cond (a, b, c) -> expr_names (expr_names (expr_names acc a) b) c
+
+let rec stmt_names acc = function
+  | Ast.SExpr e | Ast.SReturn (Some e) | Ast.SDecl (_, _, Some e) ->
+      expr_names acc e
+  | Ast.SDecl (_, _, None) | Ast.SReturn None | Ast.SBreak | Ast.SContinue ->
+      acc
+  | Ast.SIf (c, a, b) ->
+      List.fold_left stmt_names
+        (List.fold_left stmt_names (expr_names acc c) a)
+        b
+  | Ast.SWhile (c, b) -> List.fold_left stmt_names (expr_names acc c) b
+  | Ast.SFor (i, c, s, b) ->
+      let acc = match i with Some s -> stmt_names acc s | None -> acc in
+      let acc = match c with Some e -> expr_names acc e | None -> acc in
+      let acc = match s with Some e -> expr_names acc e | None -> acc in
+      List.fold_left stmt_names acc b
+  | Ast.SBlock b -> List.fold_left stmt_names acc b
+
+let program_names prog =
+  List.fold_left
+    (fun acc -> function
+      | Ast.TFunc { Ast.f_body = Some body; _ } ->
+          List.fold_left stmt_names acc body
+      | _ -> acc)
+    [] prog
+
+(* one functional slot of a skeleton instance: the C expression applying it
+   to [actuals], with lifted arguments passed through instance parameters *)
+let sapply pos sf actuals =
+  match sf with
+  | SFn (g, k) ->
+      let lifted = List.init k (fun i -> Printf.sprintf "skil_l%d_%d" pos i) in
+      Printf.sprintf "%s (%s)" g (String.concat ", " (lifted @ actuals))
+  | SOp op -> (
+      match actuals with
+      | [ a; b ] -> Printf.sprintf "(%s %s %s)" a op b
+      | [ a ] -> Printf.sprintf "(%s%s)" op a
+      | _ -> invalid_arg "Emit_c.standalone: operator arity")
+
+(* the lifted parameters an instance receives, typed from the callee's own
+   (first-order, monomorphic) signature *)
+let lifted_params prog (pos, sf) =
+  match sf with
+  | SOp _ -> []
+  | SFn (_, 0) -> []
+  | SFn (g, k) -> (
+      match find_func prog g with
+      | Some f ->
+          List.mapi
+            (fun i p ->
+              Printf.sprintf "%s skil_l%d_%d" (stype p.Ast.p_type) pos i)
+            (take k f.Ast.f_params)
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Emit_c.standalone: cannot lift arguments of builtin %s" g))
+
+(* Emit one skeleton definition — a numbered instance, or (with
+   [si_funs = []] and the skeleton's own name) the generic version taking
+   function pointers.  The sequential semantics mirror the simulator at
+   p = 1: row-major element order (last dimension fastest), left fold,
+   accumulating generalized matrix product, inclusive upperBd. *)
+let semit_skel buf prog ~celt ~carr { si_name; si_skel; si_funs } =
+  let fnptr2 name = Printf.sprintf "%s (*%s) (%s, %s)" celt name celt celt in
+  let data_specs =
+    match si_skel with
+    | "array_create" ->
+        [
+          (0, "dim", "skil_int dim");
+          (1, "size", "Index size");
+          (2, "blocksize", "Index blocksize");
+          (3, "lowerbd", "Index lowerbd");
+          (4, "init", Printf.sprintf "%s (*init) (Index)" celt);
+          (5, "distr", "skil_int distr");
+        ]
+    | "array_map" ->
+        [
+          (0, "f", Printf.sprintf "%s (*f) (%s, Index)" celt celt);
+          (1, "from", carr ^ " from");
+          (2, "to", carr ^ " to");
+        ]
+    | "array_fold" ->
+        [
+          (0, "conv", Printf.sprintf "%s (*conv) (%s, Index)" celt celt);
+          (1, "f", fnptr2 "f");
+          (2, "a", carr ^ " a");
+        ]
+    | "array_gen_mult" ->
+        [
+          (0, "a", carr ^ " a");
+          (1, "b", carr ^ " b");
+          (2, "add", fnptr2 "add");
+          (3, "mul", fnptr2 "mul");
+          (4, "c", carr ^ " c");
+        ]
+    | "array_permute_rows" ->
+        [
+          (0, "from", carr ^ " from");
+          (1, "perm", "skil_int (*perm) (skil_int)");
+          (2, "to", carr ^ " to");
+        ]
+    | s -> invalid_arg ("Emit_c.standalone: no instance template for " ^ s)
+  in
+  let params =
+    List.concat_map (lifted_params prog) si_funs
+    @ List.filter_map
+        (fun (pos, _, decl) ->
+          if List.mem_assoc pos si_funs then None else Some decl)
+        data_specs
+  in
+  let use pos actuals =
+    match List.assoc_opt pos si_funs with
+    | Some sf -> sapply pos sf actuals
+    | None ->
+        let _, name, _ = List.find (fun (p, _, _) -> p = pos) data_specs in
+        Printf.sprintf "%s (%s)" name (String.concat ", " actuals)
+  in
+  let ret = match si_skel with
+    | "array_create" -> carr
+    | "array_fold" -> celt
+    | _ -> "void"
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "static %s %s (%s) {\n" ret si_name
+       (String.concat ", " params));
+  (match si_skel with
+  | "array_create" ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  %s a = skil_array_alloc (dim, size);\n\
+            \  skil_int ix[4];\n\
+            \  (void) blocksize; (void) lowerbd; (void) distr;\n\
+            \  for (skil_int k = 0; k < a->count; k++) {\n\
+            \    skil_index_of (a, k, ix);\n\
+            \    a->data[k] = %s;\n\
+            \  }\n\
+            \  return a;\n"
+           carr
+           (use 4 [ "ix" ]))
+  | "array_map" ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  skil_int ix[4];\n\
+            \  for (skil_int k = 0; k < from->count; k++) {\n\
+            \    skil_index_of (from, k, ix);\n\
+            \    to->data[k] = %s;\n\
+            \  }\n"
+           (use 0 [ "from->data[k]"; "ix" ]))
+  | "array_fold" ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  skil_int ix[4];\n\
+            \  %s acc = 0;\n\
+            \  int first = 1;\n\
+            \  for (skil_int k = 0; k < a->count; k++) {\n\
+            \    skil_index_of (a, k, ix);\n\
+            \    %s v = %s;\n\
+            \    acc = first ? v : %s;\n\
+            \    first = 0;\n\
+            \  }\n\
+            \  return acc;\n"
+           celt celt
+           (use 0 [ "a->data[k]"; "ix" ])
+           (use 1 [ "acc"; "v" ]))
+  | "array_gen_mult" ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  skil_int n = a->size[0];\n\
+            \  for (skil_int i = 0; i < n; i++)\n\
+            \    for (skil_int k = 0; k < n; k++) {\n\
+            \      %s aik = a->data[i * n + k];\n\
+            \      for (skil_int j = 0; j < n; j++)\n\
+            \        c->data[i * n + j] = %s;\n\
+            \    }\n"
+           celt
+           (use 2
+              [ "c->data[i * n + j]"; use 3 [ "aik"; "b->data[k * n + j]" ] ]))
+  | "array_permute_rows" ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  skil_int n = from->size[0];\n\
+            \  skil_int w = from->size[1];\n\
+            \  for (skil_int r = 0; r < n; r++)\n\
+            \    for (skil_int j = 0; j < w; j++)\n\
+            \      to->data[%s * w + j] = from->data[r * w + j];\n"
+           (use 1 [ "r" ]))
+  | _ -> assert false);
+  Buffer.add_string buf "}\n\n"
+
+let semit_type_instances buf program =
+  List.iter
+    (fun t ->
+      match t with
+      | Ast.TNamed ("array", [ _ ]) -> () (* the embedded runtime's typedef *)
+      | Ast.TNamed (n, args) -> (
+          match find_struct program n with
+          | Some sd when args <> [] ->
+              let s =
+                try List.combine sd.Ast.s_params args
+                with Invalid_argument _ -> []
+              in
+              Buffer.add_string buf (stype t ^ " {\n");
+              List.iter
+                (fun (ft, fname) ->
+                  Buffer.add_string buf
+                    ("  " ^ stype (subst_simple s ft) ^ " " ^ fname ^ ";\n"))
+                sd.Ast.s_fields;
+              Buffer.add_string buf "};\n"
+          | _ -> (
+              match find_typedef program n with
+              | Some td when args <> [] ->
+                  let s =
+                    try List.combine td.Ast.td_params args
+                    with Invalid_argument _ -> []
+                  in
+                  Buffer.add_string buf
+                    ("typedef "
+                    ^ stype (subst_simple s td.Ast.td_type)
+                    ^ " " ^ stype t ^ ";\n")
+              | _ -> ()))
+      | _ -> ())
+    (used_named_types program)
+
+let standalone (prog : Ast.program) ~entry ~args =
+  if entry = "main" || find_func prog "main" <> None then
+    invalid_arg
+      "Emit_c.standalone: the program defines main, which collides with the \
+       generated C driver (rename the entry function)";
+  let names = program_names prog in
+  let used n = List.mem n names in
+  if used "skil_new" then
+    invalid_arg "Emit_c.standalone: new() is not supported in standalone mode";
+  let elems =
+    List.sort_uniq compare
+      (List.filter_map
+         (function Ast.TNamed ("array", [ e ]) -> Some e | _ -> None)
+         (used_named_types prog))
+  in
+  let elem =
+    match elems with
+    | [] -> Ast.TInt
+    | [ e ] -> e
+    | _ ->
+        invalid_arg
+          "Emit_c.standalone: arrays of more than one element type (the \
+           embedded runtime is monomorphic)"
+  in
+  (match elem with
+  | Ast.TInt | Ast.TFloat -> ()
+  | _ ->
+      invalid_arg
+        "Emit_c.standalone: only int and float array elements are supported");
+  let celt = stype elem in
+  let carr = flat elem ^ "array" in
+  (* walk the bodies first: instances and generic-skeleton usage drive what
+     the embedded runtime must contain *)
+  let m = { sinsts = []; sgeneric = [] } in
+  let ec =
+    { buf = Buffer.create 256; instances = []; counter = 0; smode = Some m }
+  in
+  let bodies = Buffer.create 4096 in
+  let protos = Buffer.create 512 in
+  List.iter
+    (function
+      | Ast.TFunc f when f.Ast.f_body <> None ->
+          let params =
+            String.concat ", "
+              (List.map
+                 (fun p -> stype p.Ast.p_type ^ " " ^ p.Ast.p_name)
+                 f.Ast.f_params)
+          in
+          let head =
+            Printf.sprintf "%s %s (%s)" (stype f.Ast.f_ret) f.Ast.f_name params
+          in
+          Buffer.add_string protos (Printf.sprintf "static %s;\n" head);
+          Buffer.add_string bodies
+            (Printf.sprintf "%s {\n%s}\n\n" head
+               (block ec 2 (Option.get f.Ast.f_body)))
+      | _ -> ())
+    prog;
+  let buf = Buffer.create 8192 in
+  let out s = Buffer.add_string buf s in
+  out
+    "/* generated by the Skil compiler — standalone single-processor build\n\
+    \   (sequential skeleton runtime embedded; output matches\n\
+    \   skilc run-par --width 1 --height 1) */\n";
+  out "#include <stdio.h>\n#include <stdlib.h>\n";
+  if used "sqrt" || used "fabs" then out "#include <math.h>\n";
+  out "\n";
+  out "typedef long long skil_int; /* Skil int is wider than 32 bits */\n";
+  out "typedef skil_int *Index;\n";
+  out "typedef struct { Index lowerBd; Index upperBd; } *Bounds;\n\n";
+  out "#define DISTR_DEFAULT 0\n#define DISTR_RING 1\n#define DISTR_TORUS2D 2\n";
+  out "#define procId ((skil_int) 0)\n#define nProcs ((skil_int) 1)\n";
+  if used "int_max" then
+    (* the simulator's max_int / 4, chosen so int_max + weight cannot
+       overflow (shortest paths' infinity) *)
+    out "#define int_max 1152921504606846975LL\n";
+  if used "abs" then out "#define abs skil_abs\n";
+  if used "log2" then out "#define log2 skil_log2\n";
+  out "\n";
+  out "static int skil_printed = 0;\n";
+  let any_print =
+    used "print_int" || used "print_float" || used "print_string"
+    || used "print_char"
+  in
+  if any_print then
+    out
+      "static void skil_mark (void) {\n\
+      \  if (!skil_printed) { fputs (\"[proc 0] \", stdout); skil_printed = \
+       1; }\n\
+       }\n";
+  if used "print_int" then
+    out
+      "static void print_int (skil_int n) { skil_mark (); printf (\"%lld\", \
+       n); }\n";
+  if used "print_float" then
+    out
+      "static void print_float (double f) { skil_mark (); printf (\"%g\", f); \
+       }\n";
+  if used "print_string" then
+    out
+      "static void print_string (const char *s) { skil_mark (); fputs (s, \
+       stdout); }\n";
+  if used "print_char" then
+    out "static void print_char (char c) { skil_mark (); putchar (c); }\n";
+  if used "error" then
+    out
+      "static void error (const char *m) { fprintf (stderr, \"skil: %s\\n\", \
+       m); exit (1); }\n";
+  if used "min" then
+    out
+      (Printf.sprintf "static %s min (%s a, %s b) { return a <= b ? a : b; }\n"
+         celt celt celt);
+  if used "max" then
+    out
+      (Printf.sprintf "static %s max (%s a, %s b) { return a >= b ? a : b; }\n"
+         celt celt celt);
+  if used "abs" then
+    out "static skil_int skil_abs (skil_int n) { return n < 0 ? -n : n; }\n";
+  if used "log2" then
+    out
+      "static skil_int skil_log2 (skil_int n) { /* ceiling log2, log2(1) = 0 \
+       */\n\
+      \  skil_int k = 0, pow = 1;\n\
+      \  while (pow < n) { k++; pow *= 2; }\n\
+      \  return k;\n\
+       }\n";
+  if used "itof" then
+    out "static double itof (skil_int n) { return (double) n; }\n";
+  if used "ftoi" then
+    out "static skil_int ftoi (double f) { return (skil_int) f; }\n";
+  out "\n";
+  let any_array =
+    elems <> []
+    && List.exists (fun n -> String.length n > 6 && String.sub n 0 6 = "array_")
+         names
+  in
+  if any_array then begin
+    out
+      (Printf.sprintf
+         "/* the runtime's hidden pardata implementation at p = 1: the whole\n\
+         \   array is the local partition, stored row-major (last dimension\n\
+         \   fastest), exactly the simulator's element order */\n\
+          struct skil_array { skil_int dim; skil_int size[4]; skil_int \
+          count; %s *data; };\n\
+          typedef struct skil_array *%s;\n\n"
+         celt carr);
+    out
+      (Printf.sprintf
+         "static %s skil_array_alloc (skil_int dim, Index size) {\n\
+         \  %s a = malloc (sizeof *a);\n\
+         \  a->dim = dim;\n\
+         \  a->count = 1;\n\
+         \  for (skil_int d = 0; d < dim; d++) { a->size[d] = size[d]; \
+          a->count *= size[d]; }\n\
+         \  a->data = malloc ((size_t) (a->count ? a->count : 1) * sizeof \
+          *a->data);\n\
+         \  return a;\n\
+          }\n"
+         carr carr);
+    out
+      (Printf.sprintf
+         "static skil_int skil_offset (%s a, Index ix) {\n\
+         \  skil_int off = 0;\n\
+         \  for (skil_int d = 0; d < a->dim; d++) off = off * a->size[d] + \
+          ix[d];\n\
+         \  return off;\n\
+          }\n"
+         carr);
+    out
+      (Printf.sprintf
+         "static void skil_index_of (%s a, skil_int k, Index ix) {\n\
+         \  for (skil_int d = a->dim - 1; d >= 0; d--) { ix[d] = k %% \
+          a->size[d]; k /= a->size[d]; }\n\
+          }\n\n"
+         carr);
+    if used "array_destroy" then
+      out
+        (Printf.sprintf
+           "static void array_destroy (%s a) { free (a->data); free (a); }\n"
+           carr);
+    if used "array_copy" then
+      out
+        (Printf.sprintf
+           "static void array_copy (%s from, %s to) {\n\
+           \  for (skil_int k = 0; k < from->count; k++) to->data[k] = \
+            from->data[k];\n\
+            }\n"
+           carr carr);
+    if used "array_broadcast_part" then
+      out
+        (Printf.sprintf
+           "static void array_broadcast_part (%s a, Index ix) {\n\
+           \  (void) a; (void) ix; /* single processor: the owner is us */\n\
+            }\n"
+           carr);
+    if used "array_part_bounds" then
+      out
+        (Printf.sprintf
+           "static Bounds array_part_bounds (%s a) {\n\
+           \  Bounds b = malloc (sizeof *b);\n\
+           \  b->lowerBd = calloc ((size_t) a->dim, sizeof (skil_int));\n\
+           \  b->upperBd = malloc ((size_t) a->dim * sizeof (skil_int));\n\
+           \  for (skil_int d = 0; d < a->dim; d++) b->upperBd[d] = \
+            a->size[d] - 1; /* inclusive */\n\
+           \  return b;\n\
+            }\n"
+           carr);
+    if used "array_get_elem" then
+      out
+        (Printf.sprintf
+           "static %s array_get_elem (%s a, Index ix) { return \
+            a->data[skil_offset (a, ix)]; }\n"
+           celt carr);
+    if used "array_put_elem" then
+      out
+        (Printf.sprintf
+           "static void array_put_elem (%s a, Index ix, %s v) { \
+            a->data[skil_offset (a, ix)] = v; }\n"
+           celt carr);
+    out "\n";
+    (* generic (function-pointer) versions, only where a call passes bare
+       function names; instanced call sites get their own bodies below *)
+    List.iter
+      (fun skel ->
+        if List.mem skel m.sgeneric then
+          semit_skel buf prog ~celt ~carr
+            { si_name = skel; si_skel = skel; si_funs = [] })
+      [
+        "array_create"; "array_map"; "array_fold"; "array_gen_mult";
+        "array_permute_rows";
+      ]
+  end;
+  semit_type_instances buf prog;
+  Buffer.add_buffer buf protos;
+  out "\n";
+  List.iter (semit_skel buf prog ~celt ~carr) (List.rev m.sinsts);
+  Buffer.add_buffer buf bodies;
+  out
+    (Printf.sprintf
+       "int main (void) {\n\
+       \  %s (%s);\n\
+       \  if (skil_printed) putchar ('\\n');\n\
+       \  return 0;\n\
+        }\n"
+       entry
+       (String.concat ", " (List.map string_of_int args)));
   Buffer.contents buf

@@ -13,6 +13,20 @@
 
 val program : Ast.program -> string
 
+val standalone : Ast.program -> entry:string -> args:int list -> string
+(** A {e complete} single-processor C program for the same instantiated
+    input: the translated Skil functions of {!program}, plus a sequential
+    (p = 1) implementation of every skeleton and builtin the program uses,
+    generated bodies for the numbered skeleton instances (lifted arguments
+    become leading parameters), and a [main] driver calling [entry] on the
+    integer [args].  Skil [int] widens to a 64-bit C integer and [float]
+    to [double], array literals become compound literals, and the driver
+    frames output as ["[proc 0] ..."] — so the compiled binary's stdout
+    byte-matches [skilc run-par --width 1 --height 1] for every
+    deterministic program the mode accepts.  Raises [Invalid_argument] for
+    programs it cannot close: a function named [main], [new ()], arrays of
+    more than one element type, or non-scalar array elements. *)
+
 val mangle_type : Ast.typ -> string
 (** C rendering of a monomorphic type. *)
 

@@ -1,9 +1,9 @@
 type outcome = { value : Value.t; printed : string }
-type engine = [ `Ast | `Compiled ]
+type engine = [ `Ast | `Compiled | `Native ]
 type optimize = [ `None | `Fuse ]
 
 let run ?cost ?trace ?faults ?reliable ?collectives ?sim_domains
-    ?(instantiate = true)
+    ?chan_cap ?native_domains ?(instantiate = true)
     ?(engine = `Compiled) ?(specialize = true) ?(optimize = `None) ~topology
     program ~entry ~args =
   let tyenv = Typecheck.check program in
@@ -43,8 +43,33 @@ let run ?cost ?trace ?faults ?reliable ?collectives ?sim_domains
           let st = Interp.make ~backend:(`Par ctx) ~tyenv program in
           let value = Compile.call compiled st entry args in
           { value; printed = Interp.output st })
+  | `Native ->
+      (* the compiled engine's closures, executed with real parallelism on
+         the Native backend — simulator-only options make no sense here *)
+      if faults <> None then
+        invalid_arg "Spmd.run: the native engine cannot inject faults";
+      if reliable = Some true then
+        invalid_arg
+          "Spmd.run: the native engine has no Reliable transport (delivery \
+           is shared memory)";
+      if trace = Some true then
+        invalid_arg "Spmd.run: the native engine records no trace";
+      (match sim_domains with
+      | Some d when d > 1 ->
+          invalid_arg
+            "Spmd.run: --sim-domains shards the simulator; use \
+             native_domains with the native engine"
+      | _ -> ());
+      let compiled = Compile.program ~tyenv ~specialize program in
+      Machine.run_native ?cost ?collectives ?chan_cap
+        ?domains:native_domains ~topology (fun ctx ->
+          let st = Interp.make ~backend:(`Par ctx) ~tyenv program in
+          let value = Compile.call compiled st entry args in
+          { value; printed = Interp.output st })
 
 let run_source ?cost ?trace ?faults ?reliable ?collectives ?sim_domains
-    ?instantiate ?engine ?specialize ?optimize ~topology source ~entry ~args =
-  run ?cost ?trace ?faults ?reliable ?collectives ?sim_domains ?instantiate
-    ?engine ?specialize ?optimize ~topology (Parser.parse source) ~entry ~args
+    ?chan_cap ?native_domains ?instantiate ?engine ?specialize ?optimize
+    ~topology source ~entry ~args =
+  run ?cost ?trace ?faults ?reliable ?collectives ?sim_domains ?chan_cap
+    ?native_domains ?instantiate ?engine ?specialize ?optimize ~topology
+    (Parser.parse source) ~entry ~args

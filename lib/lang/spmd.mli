@@ -7,12 +7,21 @@
 
 type outcome = { value : Value.t; printed : string }
 
-type engine = [ `Ast | `Compiled ]
+type engine = [ `Ast | `Compiled | `Native ]
 (** [`Ast] walks the typed tree with the reference interpreter;
     [`Compiled] (the default) first translates every function body into
     OCaml closures ({!Compile}).  The two engines produce bit-identical
     printed output, return values, simulated makespans, Stats and traces;
-    the compiled one is just faster in wall-clock terms. *)
+    the compiled one is just faster in wall-clock terms.
+
+    [`Native] reuses the compiled engine's closures (and unboxed
+    partitions) but executes the ranks with real parallelism on OCaml
+    domains ({!Machine.run_native}): no simulated clock, wall-clock [time],
+    message counts in [stats], empty trace.  Values and printed output
+    match the simulator for every deterministic-order program (the whole
+    [examples/skil] corpus); only [recv_any] winners may differ, as on a
+    real machine.  Incompatible with [faults]/[reliable]/[trace]/
+    [sim_domains > 1] — [run] raises [Invalid_argument]. *)
 
 type optimize = [ `None | `Fuse ]
 (** [`None] (the default) leaves the instantiated program untouched —
@@ -30,6 +39,8 @@ val run :
   ?reliable:bool ->
   ?collectives:Coll_alg.mode ->
   ?sim_domains:int ->
+  ?chan_cap:int ->
+  ?native_domains:int ->
   ?instantiate:bool ->
   ?engine:engine ->
   ?specialize:bool ->
@@ -64,7 +75,11 @@ val run :
 
     [sim_domains] (default 1) shards the simulated machine across OCaml
     domains — results are bit-identical for every value (see
-    {!Machine.run}); only host wall-clock time changes. *)
+    {!Machine.run}); only host wall-clock time changes.
+
+    [native_domains] and [chan_cap] apply only to the [`Native] engine:
+    the rank-blocking group count and the per-link ring capacity handed to
+    {!Machine.run_native}. *)
 
 val run_source :
   ?cost:Cost_model.t ->
@@ -73,6 +88,8 @@ val run_source :
   ?reliable:bool ->
   ?collectives:Coll_alg.mode ->
   ?sim_domains:int ->
+  ?chan_cap:int ->
+  ?native_domains:int ->
   ?instantiate:bool ->
   ?engine:engine ->
   ?specialize:bool ->

@@ -141,7 +141,13 @@ type t = {
          below the fault-free bound) *)
 }
 
-type ctx = { m : t; p : proc }
+type sctx = { m : t; p : proc }
+
+(* The public context is either a simulator context or a native-execution
+   one (ranks on real domains, see {!Native}); every context-taking
+   function below is shadowed by a two-way dispatch at the end of the
+   file, so the skeleton/collective/language layers stay engine-agnostic. *)
+type ctx = Sim of sctx | Native of Native.ctx
 
 type 'r result = {
   values : 'r array;
@@ -1012,7 +1018,7 @@ let run_sharded m par values f =
     let p = m.procs.(id) in
     let sid = par.shard_of.(id) in
     p.shard <- sid;
-    let ctx = { m; p } in
+    let ctx = Sim { m; p } in
     p.fid <-
       Scheduler.spawn par.shards.(sid).sched (fun () ->
           values.(id) <- Some (f ctx);
@@ -1229,7 +1235,7 @@ let run ?(cost = Cost_model.default) ?(trace = false) ?faults
   | None ->
       for id = 0 to n - 1 do
         let p = m.procs.(id) in
-        let ctx = { m; p } in
+        let ctx = Sim { m; p } in
         p.fid <-
           Scheduler.spawn sched (fun () ->
               values.(id) <- Some (f ctx);
@@ -1261,3 +1267,114 @@ let run ?(cost = Cost_model.default) ?(trace = false) ?faults
       values
   in
   { values; time = makespan; stats; trace = m.trace }
+
+(* ------------------------------------------------------------------ *)
+(* Engine dispatch.
+
+   Everything above this line operates on the simulator context [sctx];
+   the shadowing wrappers below accept the public [ctx] and route each
+   call to the simulator or to the {!Native} backend.  Cost charging,
+   crash protection and trace spans are simulator concepts: under the
+   native engine they are no-ops (native runs report wall-clock time and
+   message counts, nothing else), except [charge_skeleton_call], which
+   still counts the invocation in [Stats]. *)
+
+let self = function Sim c -> self c | Native c -> Native.self c
+let nprocs = function Sim c -> nprocs c | Native c -> Native.nprocs c
+let topology = function Sim c -> topology c | Native c -> Native.topology c
+let cost = function Sim c -> cost c | Native c -> Native.cost c
+let profile = function Sim c -> profile c | Native c -> Native.profile c
+let clock = function Sim c -> clock c | Native c -> Native.clock c
+
+let checkpoint_default = function
+  | Sim c -> checkpoint_default c
+  | Native _ -> false
+
+let coll_mode = function Sim c -> coll_mode c | Native c -> Native.coll_mode c
+
+let coll_legacy = function
+  | Sim c -> coll_legacy c
+  | Native c -> Native.coll_legacy c
+
+let coll_net = function Sim c -> coll_net c | Native c -> Native.coll_net c
+
+let record_collective ctx ~name ~bytes =
+  match ctx with
+  | Sim c -> record_collective c ~name ~bytes
+  | Native c -> Native.record_collective c ~name ~bytes
+
+let compute ctx seconds =
+  match ctx with Sim c -> compute c seconds | Native _ -> ()
+
+let charge ctx cls ~ops ~base =
+  match ctx with Sim c -> charge c cls ~ops ~base | Native _ -> ()
+
+let charge_scalar_nodes ctx ~ops =
+  match ctx with Sim c -> charge_scalar_nodes c ~ops | Native _ -> ()
+
+let charge_skeleton_call = function
+  | Sim c -> charge_skeleton_call c
+  | Native c -> Native.charge_skeleton_call c
+
+let charge_copy ctx ~bytes =
+  match ctx with Sim c -> charge_copy c ~bytes | Native _ -> ()
+
+let protect ctx ~bytes ~snapshot ~restore f =
+  match ctx with
+  | Sim c -> protect c ~bytes ~snapshot ~restore f
+  | Native _ -> f ()
+
+let span_begin ctx ~cat name =
+  match ctx with Sim c -> span_begin c ~cat name | Native _ -> ()
+
+let span_end = function Sim c -> span_end c | Native _ -> ()
+
+let with_span ctx ~cat name f =
+  match ctx with
+  | Sim c -> with_span c ~cat name f
+  | Native _ -> f ()
+
+let send ctx ?(rendezvous = false) ~dest ~tag ~bytes v =
+  match ctx with
+  | Sim c -> send c ~rendezvous ~dest ~tag ~bytes v
+  | Native c -> Native.send c ~rendezvous ~dest ~tag ~bytes v
+
+let recv ctx ~src ~tag =
+  match ctx with
+  | Sim c -> recv c ~src ~tag
+  | Native c -> Native.recv c ~src ~tag
+
+let recv_any ctx ~tag =
+  match ctx with
+  | Sim c -> recv_any c ~tag
+  | Native c -> Native.recv_any c ~tag
+
+let sendrecv ctx ~dest ~src ~tag ~bytes v =
+  match ctx with
+  | Sim c -> sendrecv c ~dest ~src ~tag ~bytes v
+  | Native c -> Native.sendrecv c ~dest ~src ~tag ~bytes v
+
+let collective ctx f =
+  match ctx with
+  | Sim c -> collective c f
+  | Native c -> Native.collective c f
+
+let tags ctx n =
+  match ctx with Sim c -> tags c n | Native c -> Native.tags c n
+
+(* Run the program on the native backend and convert its result to the
+   common shape: [time] is wall-clock seconds, the trace is empty. *)
+let run_native ?cost ?collectives ?chan_cap ?domains ~topology f =
+  let n = Topology.nprocs topology in
+  match
+    Native.run ?cost ?collectives ?chan_cap ?domains ~topology (fun c ->
+        f (Native c))
+  with
+  | r ->
+      {
+        values = r.Native.nvalues;
+        time = r.Native.wall;
+        stats = r.Native.nstats;
+        trace = Trace.create ~enabled:false ~nprocs:n;
+      }
+  | exception Native.Stalled blocked -> raise (Stalled blocked)

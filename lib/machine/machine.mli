@@ -95,6 +95,27 @@ val run :
     (bit-identical output); [Auto] selects per call from the cost model;
     [Force a] pins algorithm [a] wherever it applies. *)
 
+val run_native :
+  ?cost:Cost_model.t ->
+  ?collectives:Coll_alg.mode ->
+  ?chan_cap:int ->
+  ?domains:int ->
+  topology:Topology.t ->
+  (ctx -> 'r) ->
+  'r result
+(** Run the SPMD program on the {!Native} backend: ranks blocked into up
+    to [domains] contiguous groups (default: one rank per group) executing
+    with real parallelism on {!Pool}'s worker domains, messages through
+    shared-memory ring buffers of capacity [chan_cap] (default 256), no
+    simulated clock.  The result's [time] is wall-clock seconds, [stats]
+    carries the usual message/skeleton counters (makespan = wall), and the
+    trace is empty.  Exact receives are deterministic (Kahn network);
+    {!recv_any} picks the earliest wall-clock arrival and is therefore
+    timing-dependent — the simulator remains the oracle for makespans and
+    for deterministic [recv_any] winners.  [cost] only seeds the
+    collective-selection predictor (non-Legacy [collectives]) and
+    {!profile}.  @raise Stalled on deadlock. *)
+
 (** {1 Processor context} *)
 
 val self : ctx -> int

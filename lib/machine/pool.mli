@@ -14,7 +14,18 @@
     crew never exceeds [recommended_domain_count () - 1] workers, so
     [--jobs] × [--sim-domains] oversubscription is structurally impossible
     (the product is clamped to the crew, with a one-time warning, and excess
-    work just queues). *)
+    work just queues).
+
+    The native backend ({!Machine.run_native}) borrows the crew the same
+    way.  Its [n] ranks are blocked into [g = min (domains, n)] contiguous
+    groups by the shared rank-blocking rule — group sizes are
+    [base = n / g] with the first [n mod g] groups one rank larger, so rank
+    [i] always lives next to its neighbours — and each ready group is one
+    short-lived work item.  Only the worker count is ever clamped (again
+    with the one-time warning when ranks exceed the crew); the logical
+    group count is honoured, excess groups simply queue, and the calling
+    domain always drives, so native runs complete even on a single-core
+    host. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the whole machine. *)

@@ -811,6 +811,91 @@ let test_mangle_type () =
   Alcotest.(check string) "struct" "struct _list_int"
     (Emit_c.mangle_type (Ast.TNamed ("struct _list", [ Ast.TInt ])))
 
+(* ---------------- standalone C ---------------- *)
+
+(* Programs the standalone emitter cannot close into a self-contained
+   sequential binary are rejected up front, not miscompiled. *)
+let test_standalone_rejects () =
+  let reject name ~entry src =
+    let p = Parser.parse src in
+    let env = Typecheck.check p in
+    let fo = Instantiate.program env p ~entries:[ entry ] in
+    match Emit_c.standalone fo ~entry ~args:[ 4 ] with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument _ -> ()
+  in
+  reject "entry named main" ~entry:"main"
+    {| void main(int n) { print_int(n); } |};
+  reject "mixed array element types" ~entry:"go"
+    {|
+      float init_a(Index ix) { return itof(ix[0]); }
+      int zero_i(Index ix) { return 0; }
+      void go(int n) {
+        array<float> a; array<int> b;
+        a = array_create(1, {n}, {0}, {-1}, init_a, DISTR_DEFAULT);
+        b = array_create(1, {n}, {0}, {-1}, zero_i, DISTR_DEFAULT);
+      }
+    |}
+
+(* The standalone emitter's contract, end to end: the C it prints for the
+   compilable examples builds with the host cc and its stdout byte-matches
+   the simulator at 1x1 (the run-par framing).  Skipped quietly when no C
+   compiler is on PATH. *)
+let standalone_targets =
+  [
+    ("shpaths.skil", "shpaths", 8);
+    ("jacobi.skil", "jacobi", 16);
+    ("matmul.skil", "matmul", 8);
+  ]
+
+let test_standalone_cc () =
+  if Sys.command "cc --version > /dev/null 2>&1" <> 0 then
+    Printf.eprintf "standalone cc test skipped: no cc on PATH\n"
+  else
+    List.iter
+      (fun (file, entry, n) ->
+        let src = Test_engines.source file in
+        let p = Parser.parse src in
+        let env = Typecheck.check p in
+        let fo = Instantiate.program env p ~entries:[ entry ] in
+        let c = Emit_c.standalone fo ~entry ~args:[ n ] in
+        let r =
+          Spmd.run_source
+            ~topology:(Topology.mesh ~width:1 ~height:1)
+            src ~entry
+            ~args:[ Value.VInt n ]
+        in
+        let want = Buffer.create 256 in
+        Array.iteri
+          (fun i (o : Spmd.outcome) ->
+            if o.Spmd.printed <> "" then
+              Buffer.add_string want
+                (Printf.sprintf "[proc %d] %s\n" i o.Spmd.printed))
+          r.Machine.values;
+        let cfile = Filename.temp_file "skil_standalone" ".c" in
+        let exe = Filename.temp_file "skil_standalone" ".exe" in
+        let out = Filename.temp_file "skil_standalone" ".out" in
+        Fun.protect
+          ~finally:(fun () -> List.iter Sys.remove [ cfile; exe; out ])
+          (fun () ->
+            let oc = open_out cfile in
+            output_string oc c;
+            close_out oc;
+            Alcotest.(check int)
+              (file ^ " compiles") 0
+              (Sys.command
+                 (Printf.sprintf "cc -o %s %s -lm > /dev/null 2>&1"
+                    (Filename.quote exe) (Filename.quote cfile)));
+            Alcotest.(check int)
+              (file ^ " runs") 0
+              (Sys.command
+                 (Printf.sprintf "%s > %s" (Filename.quote exe)
+                    (Filename.quote out)));
+            Alcotest.(check string) (file ^ " output")
+              (Buffer.contents want)
+              (Test_engines.read out)))
+      standalone_targets
+
 let suite =
   [
     ( "lang lexer",
@@ -891,5 +976,9 @@ let suite =
           test_emit_c_struct_instances;
         Alcotest.test_case "runtime header" `Quick test_runtime_header;
         Alcotest.test_case "type mangling" `Quick test_mangle_type;
+        Alcotest.test_case "standalone rejects" `Quick
+          test_standalone_rejects;
+        Alcotest.test_case "standalone cc round-trip" `Quick
+          test_standalone_cc;
       ] );
   ]
