@@ -462,11 +462,181 @@ let check_native cells =
       native_specs;
   List.rev !failures
 
+(* ------------------------------------------------------------------ *)
+(* skild service cells: an in-process {!Service} driven through a
+   loopback client — the daemon minus the socket.  Throughput (jobs/sec
+   over a pipelined batch of identical jobs, all but the first cache
+   hits), client-side p50/p99 latency, and the service-side cost of a
+   cold compile+run vs a cache-hit run (the [ms=] field of OK replies).
+   All wall-clock: recorded in the JSON dump, exempt from the cross-host
+   slowdown threshold; the hit-beats-cold assertion is checked on this
+   run's own numbers. *)
+
+type skild_cell = {
+  sk_expected : int;
+  sk_answered : int;
+  sk_ok : int;
+  sk_jobs_per_sec : float;
+  sk_p50_ms : float;
+  sk_p99_ms : float;
+  sk_cold_p50_ms : float; (* service ms of cache-miss replies *)
+  sk_hit_p50_ms : float; (* service ms of cache-hit replies *)
+}
+
+let skild_src =
+  "int conv(int v, Index ix) { return v; }\n\
+   int sq(int v, Index ix) { return v * v; }\n\
+   int addi(int a, int b) { return a + b; }\n\
+   int init(Index ix) { return ix[0] + 1; }\n\
+   int main() {\n\
+  \  array<int> a;\n\
+  \  a = array_create(1, {64}, {0}, {-1}, init, DISTR_DEFAULT);\n\
+  \  array_map(sq, a, a);\n\
+  \  print_int(array_fold(conv, addi, a));\n\
+  \  array_destroy(a);\n\
+  \  return 0;\n\
+   }\n"
+
+let skild_batch = 200
+let skild_cold = 30
+
+let median a =
+  let a = Array.copy a in
+  Array.sort compare a;
+  match Array.length a with 0 -> nan | n -> a.(n / 2)
+
+let skild_cells () =
+  let config =
+    { Service.default_config with Service.workers = 2; queue_cap = 512 }
+  in
+  let t = Service.create ~config () in
+  let mx = Mutex.create () and cv = Condition.create () in
+  let replies = Queue.create () in
+  let write line =
+    (* stamp arrival here, not after the drain: latency must not include
+       time the reply sat in this harness's queue *)
+    let now = Unix.gettimeofday () in
+    Mutex.lock mx;
+    Queue.add (line, now) replies;
+    Condition.signal cv;
+    Mutex.unlock mx
+  in
+  let client = Service.attach t ~write in
+  let await n =
+    let got = ref [] in
+    Mutex.lock mx;
+    for _ = 1 to n do
+      while Queue.is_empty replies do
+        Condition.wait cv mx
+      done;
+      got := Queue.pop replies :: !got
+    done;
+    Mutex.unlock mx;
+    List.rev_map (fun (line, at) -> (Proto.parse_reply line, at)) !got
+  in
+  let submit i source =
+    let spec = { Jobspec.default with Jobspec.id = string_of_int i } in
+    Service.submit t client ~spec ~source
+  in
+  (* cold compiles: each source distinct by a comment, so every job pays
+     parse + typecheck + instantiate + compile *)
+  for i = 1 to skild_cold do
+    submit i (Printf.sprintf "/* cold %d */\n%s" i skild_src)
+  done;
+  let cold = await skild_cold in
+  (* throughput batch: identical jobs, all but the first are cache hits *)
+  let t0 = Unix.gettimeofday () in
+  let lat = Array.make skild_batch nan in
+  let sent = Array.make skild_batch 0. in
+  for i = 0 to skild_batch - 1 do
+    sent.(i) <- Unix.gettimeofday ();
+    submit (skild_cold + 1 + i) skild_src
+  done;
+  let batch = await skild_batch in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  List.iteri
+    (fun j (r, at) ->
+      match r with
+      | Ok (Proto.Ok_reply { id; _ }) ->
+          (* replies arrive in completion order; latency from the matching
+             submit timestamp to the reply's arrival stamp *)
+          let i = int_of_string id - skild_cold - 1 in
+          lat.(j) <- (at -. sent.(i)) *. 1000.
+      | _ -> ())
+    batch;
+  let s = Service.stats t in
+  Service.shutdown t;
+  let service_ms ~hit rs =
+    List.filter_map
+      (function
+        | Ok (Proto.Ok_reply { cache_hit; ms; _ }), _ when cache_hit = hit ->
+            Some ms
+        | _ -> None)
+      rs
+    |> Array.of_list
+  in
+  let ok_count =
+    List.length
+      (List.filter
+         (function Ok (Proto.Ok_reply _), _ -> true | _ -> false)
+         (cold @ batch))
+  in
+  let sorted = Array.copy lat in
+  Array.sort compare sorted;
+  let pct p =
+    match Array.length sorted with
+    | 0 -> nan
+    | n -> sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+  in
+  {
+    sk_expected = skild_cold + skild_batch;
+    sk_answered = s.Service.ok + s.Service.err;
+    sk_ok = ok_count;
+    sk_jobs_per_sec = float_of_int skild_batch /. elapsed;
+    sk_p50_ms = pct 0.50;
+    sk_p99_ms = pct 0.99;
+    sk_cold_p50_ms = median (service_ms ~hit:false (cold @ batch));
+    sk_hit_p50_ms = median (service_ms ~hit:true batch);
+  }
+
+let print_skild c =
+  print_endline
+    "== skild service: in-process daemon, loopback client, cache on ==";
+  Printf.printf "%-26s %12s\n" "metric" "value";
+  Printf.printf "%-26s %12d / %d\n" "jobs answered" c.sk_answered c.sk_expected;
+  Printf.printf "%-26s %12.1f\n" "jobs/sec (hit batch)" c.sk_jobs_per_sec;
+  Printf.printf "%-26s %12.3f\n" "p50 latency (ms)" c.sk_p50_ms;
+  Printf.printf "%-26s %12.3f\n" "p99 latency (ms)" c.sk_p99_ms;
+  Printf.printf "%-26s %12.3f\n" "cold compile+run (ms)" c.sk_cold_p50_ms;
+  Printf.printf "%-26s %12.3f\n" "cache-hit run (ms)" c.sk_hit_p50_ms;
+  print_newline ()
+
+(* Contract of the service, checked on this run's own numbers (no
+   baseline needed, hardware-independent): every job answered exactly
+   once and OK, and the compiled-program cache must make a hit strictly
+   cheaper than a cold compile — the cache's whole reason to exist. *)
+let check_skild c =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  if c.sk_answered <> c.sk_expected then
+    fail "skild: %d jobs submitted but %d answered" c.sk_expected c.sk_answered;
+  if c.sk_ok <> c.sk_expected then
+    fail "skild: %d of %d jobs did not answer OK" (c.sk_expected - c.sk_ok)
+      c.sk_expected;
+  if not (c.sk_hit_p50_ms < c.sk_cold_p50_ms) then
+    fail
+      "skild: cache-hit run (%.3f ms) not cheaper than cold compile+run \
+       (%.3f ms)"
+      c.sk_hit_p50_ms c.sk_cold_p50_ms;
+  List.rev !failures
+
 (* Parse the flat JSON dump this harness writes with [--json]: one
    [  "name": 1.2345,] line per cell.  Hand-rolled on purpose — no JSON
    dependency, and the format is ours. *)
 let read_baseline file =
-  let ic = open_in file in
+  match open_in file with
+  | exception Sys_error msg -> Error msg
+  | ic ->
   let cells = ref [] in
   (try
      while true do
@@ -493,7 +663,7 @@ let read_baseline file =
      done
    with End_of_file -> ());
   close_in ic;
-  List.rev !cells
+  Ok (List.rev !cells)
 
 (* Regression guard over the estimates of one bechamel run.
 
@@ -526,14 +696,18 @@ let check_estimates ?baseline ~threshold estimates =
            if
              String.starts_with ~prefix:"pdes/" name
              || String.starts_with ~prefix:"native/" name
+             || String.starts_with ~prefix:"skild/" name
            then
              (* wall-clock scaling cells and host facts: checked by
-                check_pdes / check_native, not by the slowdown threshold *)
+                check_pdes / check_native / check_skild, not by the
+                slowdown threshold *)
              ()
            else
            match find name with
            | None ->
-               Printf.printf "check: %s in baseline but not in this run\n" name
+               (* a baseline cell that silently vanishes from the run is a
+                  coverage regression, not an informational footnote *)
+               fail "baseline cell %s missing from this run" name
            | Some now ->
                let limit = base *. (1. +. threshold) in
                if now > limit then
@@ -712,6 +886,22 @@ let run_bechamel ~quick ~jobs ~json ~check ~threshold () =
     (fun (n, ms) -> Printf.printf "%-52s %10.3f\n%!" n ms)
     native_estimates;
   estimates := List.rev_append native_estimates !estimates;
+  (* skild service cells: throughput and latency of the in-process daemon
+     plus the cold-compile-vs-cache-hit split that check_skild pins *)
+  let skild = skild_cells () in
+  let skild_estimates =
+    [
+      ("skild/jobs-per-sec", skild.sk_jobs_per_sec);
+      ("skild/p50-ms", skild.sk_p50_ms);
+      ("skild/p99-ms", skild.sk_p99_ms);
+      ("skild/cold-p50-ms", skild.sk_cold_p50_ms);
+      ("skild/hit-p50-ms", skild.sk_hit_p50_ms);
+    ]
+  in
+  List.iter
+    (fun (n, ms) -> Printf.printf "%-52s %10.3f\n%!" n ms)
+    skild_estimates;
+  estimates := List.rev_append skild_estimates !estimates;
   print_newline ();
   (match json with
    | None -> ()
@@ -730,13 +920,25 @@ let run_bechamel ~quick ~jobs ~json ~check ~threshold () =
   match check with
   | None -> ()
   | Some baseline_file ->
-      let baseline = read_baseline baseline_file in
+      let baseline =
+        match read_baseline baseline_file with
+        | Ok cells -> cells
+        | Error msg ->
+            (* a missing baseline is a check failure, not a crash: say
+               which file and why, then exit nonzero like any other
+               violation *)
+            Printf.printf "check FAILED: cannot read baseline %s: %s\n\n"
+              baseline_file msg;
+            Pool.shutdown ();
+            exit 1
+      in
       (match
          check_estimates ~baseline ~threshold (List.rev !estimates)
          @ check_collectives coll_cells coll_apps
          @ check_optimize opt_cells
          @ check_pdes ~baseline pdes
          @ check_native native
+         @ check_skild skild
        with
        | [] ->
            Printf.printf
@@ -832,6 +1034,7 @@ let () =
      is wall-clock and would break the jobs-N determinism diff of [all] *)
   if List.mem "pdes" targets then print_pdes (pdes_cells ());
   if List.mem "native" targets then print_native (native_cells ());
+  if List.mem "skild" targets then print_skild (skild_cells ());
   if List.mem "bechamel" targets then
     run_bechamel ~quick ~jobs ~json:json_file ~check:check_file ~threshold ();
   (* tracing is opt-in and re-runs its own cell, so the timed table cells

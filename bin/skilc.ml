@@ -18,39 +18,19 @@ let load path =
 
 (* Every syntax/type diagnostic is printed as [file:line:col: kind: message]
    (the conventional, editor-clickable shape); [?file] is the source being
-   processed when one is in scope. *)
+   processed when one is in scope.  Classification and rendering live in
+   {!Errclass} (lib/service), shared with the skild daemon: the process
+   exit code is the class code, so a shell script can tell a type error (4)
+   from a runtime error (6) from a stalled machine (7) — the same integers
+   skild puts in its [code=] reply field. *)
 let handle_errors ?file f =
-  let where line col =
-    match file with
-    | Some p -> Printf.sprintf "%s:%d:%d" p line col
-    | None -> Printf.sprintf "%d:%d" line col
-  in
-  try f () with
-  | Lexer.Error { line; col; message } ->
-      Printf.eprintf "%s: lexical error: %s\n" (where line col) message;
-      exit 1
-  | Parser.Error { line; col; message } ->
-      Printf.eprintf "%s: syntax error: %s\n" (where line col) message;
-      exit 1
-  | Typecheck.Type_error { line; col; message } ->
-      Printf.eprintf "%s: type error: %s\n" (where line col) message;
-      exit 1
-  | Instantiate.Unsupported { line; message } ->
-      Printf.eprintf "%s: not instantiable: %s\n" (where line 0) message;
-      exit 1
-  | Value.Skil_runtime_error m ->
-      Printf.eprintf "runtime error: %s\n" m;
-      exit 1
-  | Invalid_argument m ->
-      (* e.g. --optimize fuse combined with --no-instantiate *)
-      Printf.eprintf "error: %s\n" m;
-      exit 2
-  | Machine.Stalled blocked ->
-      Printf.eprintf "%s\n" (Machine.stall_diagnostic blocked);
-      exit 1
-  | Sys_error m ->
-      Printf.eprintf "%s\n" m;
-      exit 1
+  try f ()
+  with e -> (
+    match Errclass.of_exn ?file e with
+    | Some (cls, msg) ->
+        Printf.eprintf "%s\n" msg;
+        exit (Errclass.code cls)
+    | None -> raise e)
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.skil")
@@ -191,52 +171,24 @@ let run_cmd =
 
 (* ---------------- run-par ---------------- *)
 
-let profile_conv =
-  let parse = function
-    | "skil" -> Ok Cost_model.skil
-    | "parix-c" -> Ok Cost_model.parix_c
-    | "parix-c-old" -> Ok Cost_model.parix_c_old
-    | "dpfl" -> Ok Cost_model.dpfl
-    | s -> Error (`Msg ("unknown profile " ^ s))
-  in
+(* The value parsers are shared with the skild daemon's JOB header fields
+   ({!Jobspec}): one vocabulary, both doors. *)
+let of_jobspec_parser parse print =
   Arg.conv
-    (parse, fun ppf p -> Format.fprintf ppf "%s" p.Cost_model.profile_name)
+    ( (fun s -> Result.map_error (fun m -> `Msg m) (parse s)),
+      fun ppf v -> Format.fprintf ppf "%s" (print v) )
+
+let profile_conv =
+  of_jobspec_parser Jobspec.profile_of_string Jobspec.profile_to_string
 
 let engine_conv =
-  let parse = function
-    | "ast" -> Ok `Ast
-    | "compiled" -> Ok `Compiled
-    | "native" -> Ok `Native
-    | s -> Error (`Msg ("unknown engine " ^ s))
-  in
-  Arg.conv
-    ( parse,
-      fun ppf e ->
-        Format.fprintf ppf "%s"
-          (match e with
-          | `Ast -> "ast"
-          | `Compiled -> "compiled"
-          | `Native -> "native") )
+  of_jobspec_parser Jobspec.engine_of_string Jobspec.engine_to_string
 
 let optimize_conv =
-  let parse = function
-    | "none" -> Ok `None
-    | "fuse" -> Ok `Fuse
-    | s -> Error (`Msg ("unknown optimization level " ^ s))
-  in
-  Arg.conv
-    ( parse,
-      fun ppf o ->
-        Format.fprintf ppf "%s"
-          (match o with `None -> "none" | `Fuse -> "fuse") )
+  of_jobspec_parser Jobspec.optimize_of_string Jobspec.optimize_to_string
 
 let collectives_conv =
-  let parse s =
-    match Coll_alg.mode_of_string s with
-    | Ok m -> Ok m
-    | Error msg -> Error (`Msg msg)
-  in
-  Arg.conv (parse, fun ppf m -> Format.fprintf ppf "%s" (Coll_alg.mode_to_string m))
+  of_jobspec_parser Coll_alg.mode_of_string Coll_alg.mode_to_string
 
 let run_par_cmd =
   let run file entry args width height torus profile no_instantiate engine

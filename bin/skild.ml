@@ -1,0 +1,193 @@
+(* skild — the Skil job daemon.
+
+   A thin shell around {!Service}: bind a Unix-domain socket (or serve
+   stdin/stdout with [--stdio]), hand every connection to [Service.serve]
+   on its own thread, and translate SIGTERM/SIGINT into a graceful drain —
+   stop admitting, answer everything accepted, exit 0.  All policy
+   (crash isolation, deadlines, retries, backpressure, caching) lives in
+   lib/service; this file only owns sockets, threads and signals. *)
+
+open Cmdliner
+
+let log quiet fmt =
+  Printf.ksprintf
+    (fun s -> if not quiet then Printf.eprintf "skild: %s\n%!" s)
+    fmt
+
+(* Buffered-channel IO for [Service.serve].  [input_line] strips the
+   newline, which is exactly the framing the protocol wants; a source body
+   is read verbatim with [really_input_string] and its trailing newline
+   shows up as the following empty line. *)
+let channel_io ic oc =
+  let read_line () = try Some (input_line ic) with End_of_file -> None in
+  let read_exact n =
+    try Some (really_input_string ic n) with End_of_file -> None
+  in
+  let write line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
+  (read_line, read_exact, write)
+
+(* Drain on SIGTERM/SIGINT.  The handler only flips an atomic (it may run
+   at a safe point on any thread, so it must not lock or block); a
+   dedicated thread notices and performs the drain — blocking in
+   [Service.drain] is perfectly fine on a plain thread. *)
+let install_drainer service ~quiet =
+  let fired = Atomic.make false in
+  let handler _ = Atomic.set fired true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle handler);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle handler);
+  ignore
+    (Thread.create
+       (fun () ->
+         while not (Atomic.get fired) do
+           Thread.delay 0.05
+         done;
+         log quiet "signal received; draining";
+         Service.drain service;
+         log quiet "drained; %s" (Service.stats_line service);
+         exit 0)
+       ()
+      : Thread.t)
+
+let serve_stdio service =
+  let read_line, read_exact, write = channel_io stdin stdout in
+  Service.serve service ~read_line ~read_exact ~write
+
+let serve_socket service path ~quiet =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX path);
+  Unix.listen srv 64;
+  at_exit (fun () ->
+      (try Unix.close srv with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ());
+  log quiet "listening on %s" path;
+  let handle fd =
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let read_line, read_exact, write = channel_io ic oc in
+    (* serve never lets job input escape; anything raised here is socket
+       trouble on this one connection — drop it, keep the daemon *)
+    (try Service.serve service ~read_line ~read_exact ~write
+     with _ -> ());
+    try close_out oc (* closes fd *) with _ -> ()
+  in
+  let rec accept_loop () =
+    (match Unix.accept srv with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | fd, _ -> ignore (Thread.create handle fd : Thread.t));
+    accept_loop ()
+  in
+  accept_loop ()
+
+let main socket stdio workers queue_cap cache_cap deadline_ms retries
+    max_src_bytes max_native quiet =
+  let d = Service.default_config in
+  let config =
+    {
+      d with
+      Service.workers;
+      queue_cap;
+      cache_cap;
+      default_deadline_ms = deadline_ms;
+      default_retries = retries;
+      max_src_bytes;
+      max_native;
+    }
+  in
+  let service = Service.create ~config () in
+  install_drainer service ~quiet;
+  (match (socket, stdio) with
+  | Some path, false -> serve_socket service path ~quiet
+  | None, true | None, false -> serve_stdio service
+  | Some _, true ->
+      prerr_endline "skild: --socket and --stdio are mutually exclusive";
+      exit 2);
+  (* stdio client finished: drain what it submitted, then leave *)
+  Service.drain service;
+  log quiet "%s" (Service.stats_line service);
+  Service.shutdown service
+
+let socket_arg =
+  Arg.(value
+       & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Listen on a Unix-domain socket at $(docv), one thread per \
+                 connection.  Default (and $(b,--stdio)): serve a single \
+                 session on stdin/stdout.")
+
+let stdio_arg =
+  Arg.(value & flag
+       & info [ "stdio" ]
+           ~doc:"Serve one session on stdin/stdout (the default when \
+                 $(b,--socket) is absent).")
+
+let workers_arg =
+  Arg.(value & opt int Service.default_config.Service.workers
+       & info [ "workers" ] ~docv:"N"
+           ~doc:"Jobs allowed to run concurrently (on the shared domain \
+                 crew).")
+
+let queue_cap_arg =
+  Arg.(value & opt int Service.default_config.Service.queue_cap
+       & info [ "queue-cap" ] ~docv:"N"
+           ~doc:"Bounded admission queue; beyond it jobs are shed with \
+                 $(b,ERR class=overload).")
+
+let cache_cap_arg =
+  Arg.(value & opt int Service.default_config.Service.cache_cap
+       & info [ "cache-cap" ] ~docv:"N"
+           ~doc:"Compiled-program cache entries (LRU beyond this).")
+
+let deadline_arg =
+  Arg.(value & opt int Service.default_config.Service.default_deadline_ms
+       & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Default per-job wall-clock deadline when the job carries \
+                 no $(b,deadline-ms) field; 0 disables.")
+
+let retries_arg =
+  Arg.(value & opt int Service.default_config.Service.default_retries
+       & info [ "retries" ] ~docv:"N"
+           ~doc:"Default transient-failure retry budget (capped \
+                 exponential backoff).")
+
+let max_src_arg =
+  Arg.(value & opt int Service.default_config.Service.max_src_bytes
+       & info [ "max-src-bytes" ] ~docv:"N"
+           ~doc:"Reject job sources larger than $(docv) bytes with \
+                 $(b,ERR class=badreq).")
+
+let max_native_arg =
+  Arg.(value & opt int Service.default_config.Service.max_native
+       & info [ "max-native" ] ~docv:"N"
+           ~doc:"Concurrent native-engine jobs; excess jobs back off and \
+                 retry.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "quiet" ] ~doc:"No stderr chatter.")
+
+let () =
+  let doc = "the Skil job daemon (crash-isolated, backpressured)" in
+  let cmd =
+    Cmd.v
+      (Cmd.info "skild" ~doc
+         ~man:
+           [
+             `S Manpage.s_description;
+             `P
+               "skild accepts Skil jobs over a line-framed protocol \
+                ($(b,JOB key=value ...) header, $(b,src-bytes) of source, \
+                one newline), executes them with the same pipeline as \
+                $(b,skilc run-par), and answers every accepted job exactly \
+                once ($(b,OK ...) or $(b,ERR class=... code=...)).  No job \
+                input can kill the daemon.  SIGTERM drains gracefully: \
+                admissions stop, accepted jobs finish, exit 0.";
+           ])
+      Term.(const main $ socket_arg $ stdio_arg $ workers_arg $ queue_cap_arg
+            $ cache_cap_arg $ deadline_arg $ retries_arg $ max_src_arg
+            $ max_native_arg $ quiet_arg)
+  in
+  exit (Cmd.eval cmd)

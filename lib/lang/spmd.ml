@@ -2,10 +2,24 @@ type outcome = { value : Value.t; printed : string }
 type engine = [ `Ast | `Compiled | `Native ]
 type optimize = [ `None | `Fuse ]
 
-let run ?cost ?trace ?faults ?reliable ?collectives ?sim_domains
-    ?chan_cap ?native_domains ?(instantiate = true)
-    ?(engine = `Compiled) ?(specialize = true) ?(optimize = `None) ~topology
-    program ~entry ~args =
+(* A program carried through the whole translation pipeline — typecheck,
+   instantiation, optimization, closure compilation — but not yet bound to
+   a topology or machine options.  [Compile.program] is topology-independent
+   (per-processor state is handed in at call time), so one handle serves
+   any number of runs on any number of machines: this is what the service
+   layer's compiled-program cache stores.  Everything inside is immutable
+   after construction and safe to share across domains (compilation is
+   eager — no lazy cells to force concurrently). *)
+type prepared = {
+  pprogram : Ast.program; (* post-instantiation/optimization *)
+  ptyenv : Typecheck.env;
+  pentry : string;
+  pengine : engine;
+  pcompiled : Compile.t option; (* Some iff pengine <> `Ast *)
+}
+
+let prepare ?(instantiate = true) ?(engine = `Compiled) ?(specialize = true)
+    ?(optimize = `None) program ~entry =
   let tyenv = Typecheck.check program in
   let program, tyenv =
     if instantiate then begin
@@ -20,26 +34,50 @@ let run ?cost ?trace ?faults ?reliable ?collectives ?sim_domains
     | `Fuse ->
         if not instantiate then
           invalid_arg
-            "Spmd.run: --optimize fuse requires the instantiation pass \
+            "Spmd.prepare: --optimize fuse requires the instantiation pass \
              (the optimizer relies on first-order skeleton call sites)";
         (* re-check so the synthesized fused functions and hoisted
            declarations carry inst/struct annotations for the engines *)
         let opt = Optimize.program ~env:tyenv program in
         (opt, Typecheck.check opt)
   in
-  match engine with
+  let pcompiled =
+    match engine with
+    | `Ast -> None
+    | `Compiled | `Native ->
+        (* translate once; the closure code is shared by all processors
+           (and, via the service cache, by all future runs) *)
+        Some (Compile.program ~tyenv ~specialize program)
+  in
+  { pprogram = program; ptyenv = tyenv; pentry = entry; pengine = engine;
+    pcompiled }
+
+let prepare_source ?instantiate ?engine ?specialize ?optimize source ~entry =
+  prepare ?instantiate ?engine ?specialize ?optimize (Parser.parse source)
+    ~entry
+
+let entry_name p = p.pentry
+let engine_of p = p.pengine
+
+let run_prepared ?cost ?trace ?faults ?reliable ?collectives ?sim_domains
+    ?chan_cap ?native_domains ?cancel ~topology p ~args =
+  let { pprogram = program; ptyenv = tyenv; pentry = entry; _ } = p in
+  let compiled () =
+    match p.pcompiled with
+    | Some c -> c
+    | None -> assert false (* by construction: pengine <> `Ast *)
+  in
+  match p.pengine with
   | `Ast ->
       Machine.run ?cost ?trace ?faults ?reliable ?collectives ?sim_domains
-        ~topology (fun ctx ->
+        ?cancel ~topology (fun ctx ->
           let st = Interp.make ~backend:(`Par ctx) ~tyenv program in
           let value = Interp.call st entry args in
           { value; printed = Interp.output st })
   | `Compiled ->
-      (* translate once; the closure code is shared by all processors,
-         per-processor state is handed in at call time *)
-      let compiled = Compile.program ~tyenv ~specialize program in
+      let compiled = compiled () in
       Machine.run ?cost ?trace ?faults ?reliable ?collectives ?sim_domains
-        ~topology (fun ctx ->
+        ?cancel ~topology (fun ctx ->
           let st = Interp.make ~backend:(`Par ctx) ~tyenv program in
           let value = Compile.call compiled st entry args in
           { value; printed = Interp.output st })
@@ -60,16 +98,24 @@ let run ?cost ?trace ?faults ?reliable ?collectives ?sim_domains
             "Spmd.run: --sim-domains shards the simulator; use \
              native_domains with the native engine"
       | _ -> ());
-      let compiled = Compile.program ~tyenv ~specialize program in
+      let compiled = compiled () in
       Machine.run_native ?cost ?collectives ?chan_cap
-        ?domains:native_domains ~topology (fun ctx ->
+        ?domains:native_domains ?cancel ~topology (fun ctx ->
           let st = Interp.make ~backend:(`Par ctx) ~tyenv program in
           let value = Compile.call compiled st entry args in
           { value; printed = Interp.output st })
 
+let run ?cost ?trace ?faults ?reliable ?collectives ?sim_domains ?chan_cap
+    ?native_domains ?cancel ?instantiate ?engine ?specialize ?optimize
+    ~topology program ~entry ~args =
+  run_prepared ?cost ?trace ?faults ?reliable ?collectives ?sim_domains
+    ?chan_cap ?native_domains ?cancel ~topology
+    (prepare ?instantiate ?engine ?specialize ?optimize program ~entry)
+    ~args
+
 let run_source ?cost ?trace ?faults ?reliable ?collectives ?sim_domains
-    ?chan_cap ?native_domains ?instantiate ?engine ?specialize ?optimize
-    ~topology source ~entry ~args =
+    ?chan_cap ?native_domains ?cancel ?instantiate ?engine ?specialize
+    ?optimize ~topology source ~entry ~args =
   run ?cost ?trace ?faults ?reliable ?collectives ?sim_domains ?chan_cap
-    ?native_domains ?instantiate ?engine ?specialize ?optimize ~topology
-    (Parser.parse source) ~entry ~args
+    ?native_domains ?cancel ?instantiate ?engine ?specialize ?optimize
+    ~topology (Parser.parse source) ~entry ~args

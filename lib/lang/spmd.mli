@@ -32,6 +32,66 @@ type optimize = [ `None | `Fuse ]
     makespan wherever a rewrite fires.  Requires [instantiate = true];
     {!run} raises [Invalid_argument] otherwise. *)
 
+type prepared
+(** A program carried through the whole translation pipeline — typecheck,
+    instantiation, optimization ([`Fuse]), closure compilation — but not
+    yet bound to a topology or machine options.  Compilation is
+    topology-independent, so one handle serves any number of runs: the
+    service layer's compiled-program cache stores these ("compile once,
+    run many").  Immutable after construction and safe to share across
+    domains. *)
+
+val prepare :
+  ?instantiate:bool ->
+  ?engine:engine ->
+  ?specialize:bool ->
+  ?optimize:optimize ->
+  Ast.program ->
+  entry:string ->
+  prepared
+(** Translate [program] for [engine] (default [`Compiled]) down to a
+    reusable handle.  Raises the usual frontend exceptions
+    ({!Typecheck.Type_error}, {!Instantiate.Unsupported},
+    [Invalid_argument]) — all translation-time failures happen here, so a
+    cached handle can only fail at run time. *)
+
+val prepare_source :
+  ?instantiate:bool ->
+  ?engine:engine ->
+  ?specialize:bool ->
+  ?optimize:optimize ->
+  string ->
+  entry:string ->
+  prepared
+(** Parse + {!prepare}; additionally raises {!Lexer.Error} /
+    {!Parser.Error} with [file:line:col]-ready positions. *)
+
+val entry_name : prepared -> string
+
+val engine_of : prepared -> engine
+
+val run_prepared :
+  ?cost:Cost_model.t ->
+  ?trace:bool ->
+  ?faults:Fault.plan ->
+  ?reliable:bool ->
+  ?collectives:Coll_alg.mode ->
+  ?sim_domains:int ->
+  ?chan_cap:int ->
+  ?native_domains:int ->
+  ?cancel:(unit -> bool) ->
+  topology:Topology.t ->
+  prepared ->
+  args:Value.t list ->
+  outcome Machine.result
+(** Execute a prepared handle on [topology].  [run p ~entry ~args ...] is
+    exactly [run_prepared (prepare p ~entry) ~args ...], so a cache-hit
+    run is byte-identical to a fresh compile-and-run by construction
+    (pinned by a QCheck property in [test/test_service.ml]).  [cancel] is
+    the cooperative cancellation hook of {!Machine.run} /
+    {!Machine.run_native}; when it fires the run raises
+    {!Machine.Cancelled}. *)
+
 val run :
   ?cost:Cost_model.t ->
   ?trace:bool ->
@@ -41,6 +101,7 @@ val run :
   ?sim_domains:int ->
   ?chan_cap:int ->
   ?native_domains:int ->
+  ?cancel:(unit -> bool) ->
   ?instantiate:bool ->
   ?engine:engine ->
   ?specialize:bool ->
@@ -90,6 +151,7 @@ val run_source :
   ?sim_domains:int ->
   ?chan_cap:int ->
   ?native_domains:int ->
+  ?cancel:(unit -> bool) ->
   ?instantiate:bool ->
   ?engine:engine ->
   ?specialize:bool ->
@@ -99,4 +161,9 @@ val run_source :
   entry:string ->
   args:Value.t list ->
   outcome Machine.result
-(** Parse + type-check + {!run}. *)
+(** Parse + type-check + {!run}.  Frontend failures surface as
+    {!Lexer.Error} / {!Parser.Error} / {!Typecheck.Type_error} /
+    {!Instantiate.Unsupported}, each carrying the [line]/[col] of the
+    offending token — {!Errclass.of_exn} (lib/service) renders them as
+    [file:line:col: kind: message], the exact diagnostics `skilc` prints,
+    so service error replies carry positions verbatim. *)

@@ -134,6 +134,9 @@ type t = {
   coll_legacy : bool; (* cached [coll_mode = Legacy] *)
   coll_net : Coll_alg.net option; (* Some iff not coll_legacy *)
   par : par option; (* Some iff sim_domains > 1 and nprocs > 1 *)
+  cancel : unit -> bool;
+  cancel_on : bool; (* a cancel callback was given; cancel-free runs pay
+                       one dead branch per clock advance *)
   min_delay_factor : float;
       (* smallest multiplier a fault plan can apply to a message's transit
          time; scales the lookahead bound so it stays sound under
@@ -157,6 +160,10 @@ type 'r result = {
 }
 
 exception Stalled of (int * string) list
+
+(* One exception for both engines, so callers catch a single constructor
+   whatever the backend. *)
+exception Cancelled = Native.Cancelled
 
 let stall_diagnostic blocked =
   let b = Buffer.create 128 in
@@ -208,8 +215,16 @@ let rec apply_stalls ctx =
       apply_stalls ctx
   | _ -> ()
 
+(* Cooperative cancellation: every simulated-clock advance funnels through
+   [compute] or [overhead] (the language engines flush per statement, the
+   communication path charges overheads), so polling here keeps any
+   running Skil program cancellable without touching the skeleton layer.
+   Receivers parked forever are already surfaced by [Stalled]. *)
+let check_cancel (m : t) = if m.cancel_on && m.cancel () then raise Cancelled
+
 let compute ctx seconds =
   assert (seconds >= 0.0);
+  if ctx.m.cancel_on then check_cancel ctx.m;
   if ctx.m.faults_on then apply_stalls ctx;
   if ctx.m.trace_on then
     Trace.record ctx.m.trace ~proc:ctx.p.id ~start:ctx.p.clock
@@ -242,6 +257,7 @@ let charge_scalar_nodes ctx ~ops =
   end
 
 let overhead ctx seconds =
+  if ctx.m.cancel_on then check_cancel ctx.m;
   if ctx.m.faults_on then apply_stalls ctx;
   if ctx.m.trace_on then
     Trace.record ctx.m.trace ~proc:ctx.p.id ~start:ctx.p.clock
@@ -1078,7 +1094,7 @@ let run_sharded m par values f =
 
 let run ?(cost = Cost_model.default) ?(trace = false) ?faults
     ?(reliable = false) ?(collectives = Coll_alg.Legacy) ?(sim_domains = 1)
-    ~topology f =
+    ?cancel ~topology f =
   if sim_domains < 1 then
     invalid_arg "Machine.run: sim_domains must be >= 1";
   let n = Topology.nprocs topology in
@@ -1218,6 +1234,8 @@ let run ?(cost = Cost_model.default) ?(trace = false) ?faults
                 ~send_ovh:(cf *. params.Cost_model.send_overhead)
                 ~recv_ovh:(cf *. params.Cost_model.recv_overhead)));
       par;
+      cancel = (match cancel with Some f -> f | None -> fun () -> false);
+      cancel_on = cancel <> None;
       min_delay_factor =
         (if faults_on && fplan.Fault.link.Fault.delay > 0.0 then
            Float.min 1.0 fplan.Fault.link.Fault.delay_factor
@@ -1303,14 +1321,22 @@ let record_collective ctx ~name ~bytes =
   | Sim c -> record_collective c ~name ~bytes
   | Native c -> Native.record_collective c ~name ~bytes
 
+(* The native arms of the charge family poll cancellation instead of
+   charging: they are the per-statement hooks of the language engines, so
+   this is what keeps a compute-bound native job reapable by the service
+   watchdog. *)
 let compute ctx seconds =
-  match ctx with Sim c -> compute c seconds | Native _ -> ()
+  match ctx with Sim c -> compute c seconds | Native c -> Native.poll_cancel c
 
 let charge ctx cls ~ops ~base =
-  match ctx with Sim c -> charge c cls ~ops ~base | Native _ -> ()
+  match ctx with
+  | Sim c -> charge c cls ~ops ~base
+  | Native c -> Native.poll_cancel c
 
 let charge_scalar_nodes ctx ~ops =
-  match ctx with Sim c -> charge_scalar_nodes c ~ops | Native _ -> ()
+  match ctx with
+  | Sim c -> charge_scalar_nodes c ~ops
+  | Native c -> Native.poll_cancel c
 
 let charge_skeleton_call = function
   | Sim c -> charge_skeleton_call c
@@ -1364,11 +1390,11 @@ let tags ctx n =
 
 (* Run the program on the native backend and convert its result to the
    common shape: [time] is wall-clock seconds, the trace is empty. *)
-let run_native ?cost ?collectives ?chan_cap ?domains ~topology f =
+let run_native ?cost ?collectives ?chan_cap ?domains ?cancel ~topology f =
   let n = Topology.nprocs topology in
   match
-    Native.run ?cost ?collectives ?chan_cap ?domains ~topology (fun c ->
-        f (Native c))
+    Native.run ?cost ?collectives ?chan_cap ?domains ?cancel ~topology
+      (fun c -> f (Native c))
   with
   | r ->
       {

@@ -31,6 +31,13 @@ exception Stalled of (int * string) list
 val stall_diagnostic : (int * string) list -> string
 (** Render a {!Stalled} payload as a multi-line human-readable report. *)
 
+exception Cancelled
+(** The run's [cancel] callback returned true at a cooperative poll point
+    (every simulated-clock advance, every native block drive and
+    communication park).  The same constructor is raised by both engines
+    (it is {!Native.Cancelled} re-exported), so one handler covers any
+    backend — the service layer's deadline watchdog relies on this. *)
+
 val run :
   ?cost:Cost_model.t ->
   ?trace:bool ->
@@ -38,6 +45,7 @@ val run :
   ?reliable:bool ->
   ?collectives:Coll_alg.mode ->
   ?sim_domains:int ->
+  ?cancel:(unit -> bool) ->
   topology:Topology.t ->
   (ctx -> 'r) ->
   'r result
@@ -87,7 +95,16 @@ val run :
     using {!recv_any} may observe a different winner when latency spikes
     reorder arrivals.)
 
+    [cancel] (default: never) installs a cooperative cancellation
+    callback, polled at every clock advance ({!compute}/{!charge} and the
+    communication overheads all funnel through the poll).  When it returns
+    true the run raises {!Cancelled}.  It may be invoked from any domain
+    under [sim_domains > 1], so it must be thread-safe — an [Atomic.t]
+    read, typically.  With [cancel] absent, behaviour (values, clocks,
+    stats, traces) is byte-identical to builds without the hook.
+
     @raise Stalled if the program deadlocks or starves (see above).
+    @raise Cancelled when [cancel] fires.
     Exceptions raised by the program propagate.
 
     [collectives] (default {!Coll_alg.Legacy}) picks the collective-algorithm
@@ -100,6 +117,7 @@ val run_native :
   ?collectives:Coll_alg.mode ->
   ?chan_cap:int ->
   ?domains:int ->
+  ?cancel:(unit -> bool) ->
   topology:Topology.t ->
   (ctx -> 'r) ->
   'r result
@@ -114,7 +132,9 @@ val run_native :
     timing-dependent — the simulator remains the oracle for makespans and
     for deterministic [recv_any] winners.  [cost] only seeds the
     collective-selection predictor (non-Legacy [collectives]) and
-    {!profile}.  @raise Stalled on deadlock. *)
+    {!profile}.  [cancel] is polled cooperatively (block drives,
+    communication parks, per-statement charges) and raises {!Cancelled};
+    see {!Native.run}.  @raise Stalled on deadlock. *)
 
 (** {1 Processor context} *)
 

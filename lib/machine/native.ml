@@ -138,6 +138,9 @@ type t = {
   space_waiters : int Atomic.t; (* senders parked on a full ring *)
   abort : bool Atomic.t;
   have_workers : bool;
+  ncancel : unit -> bool;
+  ncancel_on : bool; (* a cancel callback was given; keeps the fault-free
+                        hot path at one dead branch per poll site *)
   nmode : Coll_alg.mode;
   nlegacy : bool;
   nnet : Coll_alg.net option;
@@ -149,8 +152,18 @@ type ctx = { nt : t; r : rank; g : group }
 type 'r nresult = { nvalues : 'r array; wall : float; nstats : Stats.t }
 
 exception Stalled of (int * string) list
+exception Cancelled
 
 let now () = Unix.gettimeofday ()
+
+(* Cooperative cancellation: polled at every block drive, at every park/
+   retry loop of the communication primitives, and (through
+   {!poll_cancel}) at the language engines' per-statement flush.  The
+   raise escapes the fiber (or the driver) into [exec_group]'s failure
+   path, so the whole run winds down exactly like any program
+   exception. *)
+let check_cancel nt = if nt.ncancel_on && nt.ncancel () then raise Cancelled
+let poll_cancel ctx = check_cancel ctx.nt
 
 (* ------------------------------------------------------------------ *)
 (* Context accessors (the Machine dispatch layer's native arms)        *)
@@ -315,6 +328,7 @@ let send ctx ?rendezvous:_ ~dest ~tag ~bytes v =
           comm_wait_block ctx;
           Atomic.decr nt.space_waiters;
           r.nwaiting <- None;
+          check_cancel nt;
           put ()
         end
       end
@@ -343,6 +357,7 @@ let recv ctx ~src ~tag =
         | None ->
             r.nwaiting <- Some (Nexact (src, tag));
             comm_wait_block ctx;
+            check_cancel nt;
             obtain ())
   in
   let m = obtain () in
@@ -374,6 +389,7 @@ let recv_any ctx ~tag =
     | None ->
         r.nwaiting <- Some (Nany tag);
         comm_wait_block ctx;
+        check_cancel nt;
         obtain ()
   in
   let m = obtain () in
@@ -445,6 +461,7 @@ let try_unblock nt g =
 let rec drive_group nt gid =
   let g = nt.groups.(gid) in
   let c = nt.coordn in
+  check_cancel nt;
   Scheduler.run_until_idle g.gsched;
   if Atomic.get nt.abort then begin
     Atomic.set g.gstatus 0;
@@ -562,7 +579,7 @@ let maybe_resolve nt =
 (* Run                                                                 *)
 
 let run ?(cost = Cost_model.default) ?(collectives = Coll_alg.Legacy)
-    ?(chan_cap = 256) ?domains ~topology f =
+    ?(chan_cap = 256) ?domains ?cancel ~topology f =
   let n = Topology.nprocs topology in
   if chan_cap < 1 then invalid_arg "Native.run: chan_cap must be >= 1";
   let ngroups =
@@ -637,6 +654,8 @@ let run ?(cost = Cost_model.default) ?(collectives = Coll_alg.Legacy)
       space_waiters = Atomic.make 0;
       abort = Atomic.make false;
       have_workers = workers > 0;
+      ncancel = (match cancel with Some f -> f | None -> fun () -> false);
+      ncancel_on = cancel <> None;
       nmode = collectives;
       nlegacy = (collectives = Coll_alg.Legacy);
       nnet =

@@ -27,11 +27,18 @@ exception Stalled of (int * string) list
     on ring space) that no future action can satisfy.  Same payload shape
     as {!Machine.Stalled}. *)
 
+exception Cancelled
+(** The run's [cancel] callback returned true at a poll point.  Polled
+    cooperatively: at every block drive, at every communication park/retry,
+    and at the language engines' per-statement flush (via {!poll_cancel}
+    from {!Machine}'s dispatch arms). *)
+
 val run :
   ?cost:Cost_model.t ->
   ?collectives:Coll_alg.mode ->
   ?chan_cap:int ->
   ?domains:int ->
+  ?cancel:(unit -> bool) ->
   topology:Topology.t ->
   (ctx -> 'r) ->
   'r nresult
@@ -44,8 +51,14 @@ val run :
     collective-selection predictor for non-Legacy [collectives] modes and
     the {!profile} accessor — it never affects execution speed.
 
-    @raise Stalled on deadlock.  Exceptions raised by the program
-    propagate (first failure wins, as in the simulator). *)
+    [cancel] (default: never) is polled cooperatively from every driving
+    domain and woken fiber; when it returns true the run winds down and
+    raises {!Cancelled}.  It may be called from any domain concurrently, so
+    it must be thread-safe (an [Atomic.t] read, typically).
+
+    @raise Stalled on deadlock.  @raise Cancelled when [cancel] fires.
+    Exceptions raised by the program propagate (first failure wins, as in
+    the simulator). *)
 
 (** {1 Context accessors — the native arms of {!Machine}'s dispatch} *)
 
@@ -63,6 +76,12 @@ val coll_legacy : ctx -> bool
 val coll_net : ctx -> Coll_alg.net
 val record_collective : ctx -> name:string -> bytes:int -> unit
 val charge_skeleton_call : ctx -> unit
+
+val poll_cancel : ctx -> unit
+(** Raise {!Cancelled} if the run's [cancel] callback fires; a single dead
+    branch when no callback was installed.  {!Machine}'s per-statement
+    charge arms call this so compute-bound Skil programs stay cancellable
+    on the native engine. *)
 
 val send :
   ctx -> ?rendezvous:bool -> dest:int -> tag:int -> bytes:int -> 'a -> unit

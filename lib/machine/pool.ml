@@ -95,6 +95,31 @@ let worker () =
   in
   loop ()
 
+(* Drive the registered sources from the calling thread until [stop]
+   returns true — the [worker] loop with an external stop condition
+   instead of crew shutdown.  This is how a long-lived service keeps jobs
+   moving on a host where [ensure_workers] came back with 0: a plain
+   systhread calls [drive] and becomes the crew.  Whoever flips [stop]
+   must [kick] afterwards, or the driver may stay parked on the condition
+   variable. *)
+let drive ~stop =
+  let rec loop () =
+    if not (stop ()) then begin
+      Mutex.lock crew.mutex;
+      let g = crew.gen and sources = crew.sources in
+      Mutex.unlock crew.mutex;
+      (match try_claim sources with
+      | Some t -> run_thunk t
+      | None ->
+          Mutex.lock crew.mutex;
+          if (not (stop ())) && crew.gen = g then
+            Condition.wait crew.work crew.mutex;
+          Mutex.unlock crew.mutex);
+      loop ()
+    end
+  in
+  loop ()
+
 let worker_count () =
   Mutex.lock crew.mutex;
   let n = crew.nworkers in

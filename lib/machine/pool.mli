@@ -73,3 +73,13 @@ val ensure_workers : int -> int
 
 val worker_count : unit -> int
 (** Current crew size. *)
+
+val drive : stop:(unit -> bool) -> unit
+(** Serve the registered sources from the calling thread until [stop]
+    returns true: poll newest-first, run claimed thunks, park on the crew's
+    condition variable when idle.  The single-core fallback for long-lived
+    services — when {!ensure_workers} returns 0, a plain thread calling
+    [drive] plays the crew's part (concurrently under the runtime lock, not
+    in parallel, which is all a one-core host can offer anyway).  After
+    making [stop] return true, call {!kick} so a parked driver re-checks
+    it. *)

@@ -1,0 +1,94 @@
+(* Compiled-program cache: source-hash -> {!Spmd.prepared}, LRU-evicted.
+
+   "Compile once, run many" is the paper's own economics — skeleton
+   instantiation and closure compilation are the expensive, reusable part
+   of a job; binding to a topology is cheap.  The service keys handles by
+   {!Jobspec.cache_key} (a digest over the source and the translation
+   switches), so a client streaming the same program with different
+   arguments or machine shapes pays compilation exactly once.
+
+   Concurrency: one mutex guards the table; translation runs *outside* the
+   lock (it can take milliseconds and may raise frontend errors), so two
+   jobs racing on the same cold key may both compile — benign, the loser's
+   handle is dropped and the first insert wins.  Failures are never
+   cached: a malformed program re-raises on every submission, which keeps
+   error replies honest if the daemon's frontend ever changes. *)
+
+type entry = { value : Spmd.prepared; mutable last_used : int }
+
+type t = {
+  mx : Mutex.t;
+  cap : int;
+  tbl : (string, entry) Hashtbl.t;
+  mutable tick : int; (* logical clock for LRU ordering *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~cap =
+  if cap < 1 then invalid_arg "Progcache.create: cap must be >= 1";
+  {
+    mx = Mutex.create ();
+    cap;
+    tbl = Hashtbl.create (2 * cap);
+    tick = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mx;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mx) f
+
+(* O(n) scan for the least-recently-used key: [cap] is small (hundreds)
+   and eviction only runs on insert, so this never shows on a profile. *)
+let evict_excess t =
+  while Hashtbl.length t.tbl > t.cap do
+    let victim = ref None in
+    Hashtbl.iter
+      (fun k e ->
+        match !victim with
+        | Some (_, lu) when lu <= e.last_used -> ()
+        | _ -> victim := Some (k, e.last_used))
+      t.tbl;
+    match !victim with
+    | Some (k, _) -> Hashtbl.remove t.tbl k
+    | None -> assert false (* length > cap >= 1 *)
+  done
+
+(* [prepare] is called without the lock when [key] is cold; its exceptions
+   propagate uncached.  Returns the handle and whether it was a hit. *)
+let find_or_prepare t ~key prepare =
+  let cached =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.tbl key with
+        | Some e ->
+            t.tick <- t.tick + 1;
+            e.last_used <- t.tick;
+            t.hits <- t.hits + 1;
+            Some e.value
+        | None -> None)
+  in
+  match cached with
+  | Some v -> (v, true)
+  | None ->
+      let v = prepare () in
+      let v =
+        locked t (fun () ->
+            t.misses <- t.misses + 1;
+            match Hashtbl.find_opt t.tbl key with
+            | Some e ->
+                (* a racing job inserted first; keep the table's copy so
+                   every later hit shares one handle *)
+                t.tick <- t.tick + 1;
+                e.last_used <- t.tick;
+                e.value
+            | None ->
+                t.tick <- t.tick + 1;
+                Hashtbl.replace t.tbl key { value = v; last_used = t.tick };
+                evict_excess t;
+                v)
+      in
+      (v, false)
+
+let stats t = locked t (fun () -> (t.hits, t.misses, Hashtbl.length t.tbl))

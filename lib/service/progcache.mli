@@ -1,0 +1,18 @@
+(** Compiled-program cache: {!Jobspec.cache_key} -> {!Spmd.prepared},
+    with LRU eviction.  Thread-safe; translation runs outside the lock
+    (racing cold lookups may both compile — the first insert wins) and
+    failures are never cached. *)
+
+type t
+
+val create : cap:int -> t
+(** [cap >= 1]: the maximum number of cached handles. *)
+
+val find_or_prepare :
+  t -> key:string -> (unit -> Spmd.prepared) -> Spmd.prepared * bool
+(** Return the cached handle for [key] ([..., true]) or call the thunk,
+    insert, and return it ([..., false]).  The thunk's exceptions
+    propagate and nothing is cached for that key. *)
+
+val stats : t -> int * int * int
+(** [(hits, misses, live_entries)]. *)

@@ -1,0 +1,181 @@
+(* Line-framed wire protocol of the skild daemon.
+
+   Requests (client -> daemon), one line each, '\n'-terminated:
+
+     PING
+     STATS
+     QUIT
+     JOB key=value key=value ...
+
+   A JOB header is followed by exactly [src-bytes] raw bytes of Skil
+   source, then one '\n'.  Header values are percent-escaped (see below)
+   so a value can carry any byte while the header stays a single
+   space-separated line.
+
+   Replies (daemon -> client), one line each:
+
+     PONG
+     STATS key=value ...
+     OK id=<id> cache=hit|miss engine=<e> ms=<float> value=<esc> output=<esc>
+     ERR id=<id> class=<name> code=<int> msg=<esc>
+
+   [output] is the job's printed output rendered exactly as `skilc
+   run-par` prints it (the "[proc N] ..." lines), so a client can
+   byte-compare service results against direct compiler invocations.
+
+   Escaping: bytes in [0x21, 0x7e] other than '%' pass through; every
+   other byte (space, control, '%', non-ASCII) becomes %XX (uppercase
+   hex).  Tokens therefore never contain spaces and the line never
+   contains raw newlines, whatever the payload. *)
+
+let escape s =
+  let plain = ref true in
+  String.iter
+    (fun c -> if c <= ' ' || c >= '\x7f' || c = '%' then plain := false)
+    s;
+  if !plain then s
+  else begin
+    let b = Buffer.create (String.length s + 16) in
+    String.iter
+      (fun c ->
+        if c > ' ' && c < '\x7f' && c <> '%' then Buffer.add_char b c
+        else Buffer.add_string b (Printf.sprintf "%%%02X" (Char.code c)))
+      s;
+    Buffer.contents b
+  end
+
+let unescape s =
+  let n = String.length s in
+  let b = Buffer.create n in
+  let rec go i =
+    if i >= n then Ok (Buffer.contents b)
+    else if s.[i] <> '%' then begin
+      Buffer.add_char b s.[i];
+      go (i + 1)
+    end
+    else if i + 2 >= n then Error "truncated %-escape"
+    else
+      match int_of_string_opt ("0x" ^ String.sub s (i + 1) 2) with
+      | Some code when code >= 0 && code < 256 ->
+          Buffer.add_char b (Char.chr code);
+          go (i + 3)
+      | Some _ | None -> Error "malformed %-escape"
+  in
+  go 0
+
+(* Split "k=v k=v ..." into an assoc list, unescaping values.  Order is
+   preserved; duplicate keys keep both entries (lookup finds the first). *)
+let parse_kv s =
+  let fields =
+    String.split_on_char ' ' s |> List.filter (fun f -> f <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | f :: rest -> (
+        match String.index_opt f '=' with
+        | None -> Error (Printf.sprintf "field %S is not key=value" f)
+        | Some i -> (
+            let k = String.sub f 0 i in
+            let v = String.sub f (i + 1) (String.length f - i - 1) in
+            if k = "" then Error (Printf.sprintf "field %S has an empty key" f)
+            else
+              match unescape v with
+              | Ok v -> go ((k, v) :: acc) rest
+              | Error e -> Error (Printf.sprintf "field %s: %s" k e)))
+  in
+  go [] fields
+
+let render_kv kvs =
+  String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ escape v) kvs)
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+
+type request =
+  | Ping
+  | Stats_req
+  | Quit
+  | Job of (string * string) list (* header fields; source framed separately *)
+
+let parse_request line =
+  if line = "PING" then Ok Ping
+  else if line = "STATS" then Ok Stats_req
+  else if line = "QUIT" then Ok Quit
+  else if line = "JOB" then Ok (Job [])
+  else if String.length line > 4 && String.sub line 0 4 = "JOB " then
+    match parse_kv (String.sub line 4 (String.length line - 4)) with
+    | Ok kvs -> Ok (Job kvs)
+    | Error e -> Error e
+  else Error "unknown command (expected PING, STATS, QUIT or JOB)"
+
+let render_job_header kvs = "JOB " ^ render_kv kvs
+
+(* ------------------------------------------------------------------ *)
+(* Replies                                                             *)
+
+type reply =
+  | Ok_reply of {
+      id : string;
+      cache_hit : bool;
+      engine : string;
+      ms : float; (* service time: compile (on a miss) + run, milliseconds *)
+      value : string; (* Value.describe of processor 0's return value *)
+      output : string; (* run-par's "[proc N] ..." rendering, verbatim *)
+    }
+  | Err_reply of { id : string; cls : Errclass.t; msg : string }
+
+let render_reply = function
+  | Ok_reply { id; cache_hit; engine; ms; value; output } ->
+      Printf.sprintf "OK id=%s cache=%s engine=%s ms=%.3f value=%s output=%s"
+        (escape id)
+        (if cache_hit then "hit" else "miss")
+        engine ms (escape value) (escape output)
+  | Err_reply { id; cls; msg } ->
+      Printf.sprintf "ERR id=%s class=%s code=%d msg=%s" (escape id)
+        (Errclass.name cls) (Errclass.code cls) (escape msg)
+
+let field kvs k =
+  match List.assoc_opt k kvs with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %s" k)
+
+let parse_reply line =
+  let tail prefix =
+    String.sub line (String.length prefix)
+      (String.length line - String.length prefix)
+  in
+  let with_kvs prefix f =
+    match parse_kv (tail prefix) with Ok kvs -> f kvs | Error e -> Error e
+  in
+  if String.length line > 3 && String.sub line 0 3 = "OK " then
+    with_kvs "OK " (fun kvs ->
+        let ( let* ) = Result.bind in
+        let* id = field kvs "id" in
+        let* cache = field kvs "cache" in
+        let* engine = field kvs "engine" in
+        let* ms = field kvs "ms" in
+        let* value = field kvs "value" in
+        let* output = field kvs "output" in
+        let* cache_hit =
+          match cache with
+          | "hit" -> Ok true
+          | "miss" -> Ok false
+          | c -> Error ("bad cache field " ^ c)
+        in
+        match float_of_string_opt ms with
+        | None -> Error ("bad ms field " ^ ms)
+        | Some ms -> Ok (Ok_reply { id; cache_hit; engine; ms; value; output }))
+  else if String.length line > 4 && String.sub line 0 4 = "ERR " then
+    with_kvs "ERR " (fun kvs ->
+        let ( let* ) = Result.bind in
+        let* id = field kvs "id" in
+        let* cls = field kvs "class" in
+        let* code = field kvs "code" in
+        let* msg = field kvs "msg" in
+        match Errclass.of_name cls with
+        | None -> Error ("unknown error class " ^ cls)
+        | Some cls ->
+            if int_of_string_opt code = Some (Errclass.code cls) then
+              Ok (Err_reply { id; cls; msg })
+            else Error ("code/class mismatch on " ^ code))
+  else Error "reply is neither OK nor ERR"

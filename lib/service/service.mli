@@ -1,0 +1,119 @@
+(** The skild job service: crash-isolated, backpressured execution of Skil
+    jobs with deadlines, retries, and graceful drain.
+
+    One {!t} is the whole daemon state: a bounded admission queue, a
+    compiled-program LRU cache ({!Progcache}), a persistent {!Pool} work
+    source (jobs run on the shared domain crew, exactly where Skil ranks
+    and PDES shards run), a watchdog thread that reaps deadline-exceeded
+    jobs through the engines' cooperative cancellation, and counters.
+
+    Guarantees (pinned by [test/test_service.ml] and the CI load test):
+    every accepted job is answered exactly once; no job input — malformed,
+    ill-typed, stalling, crashing, oversized — can kill the service; shed
+    and rejected submissions get exactly one [ERR] at the door; after
+    {!drain} returns nothing is queued, delayed, or running; job results
+    are byte-identical to a direct [skilc run-par] of the same spec. *)
+
+type config = {
+  workers : int;  (** jobs allowed to run concurrently (>= 1) *)
+  queue_cap : int;  (** bounded admission queue; beyond it, shed (>= 1) *)
+  cache_cap : int;  (** compiled-program LRU entries *)
+  default_deadline_ms : int;
+      (** applied when a job carries no [deadline-ms]; 0 = none *)
+  default_retries : int;  (** transient-failure retry budget *)
+  retry_base_ms : int;  (** backoff = min (cap, base * 2^(attempt-1)) *)
+  retry_cap_ms : int;
+  max_src_bytes : int;  (** oversized sources are rejected at the door *)
+  max_native : int;  (** concurrent native-engine jobs (>= 1) *)
+  tick_ms : int;  (** watchdog period *)
+}
+
+val default_config : config
+(** 2 workers, queue of 64, cache of 128, no default deadline, 2 retries
+    at 5..200 ms backoff, 1 MiB source cap, 2 native tokens, 2 ms tick. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+(** Start the service: register the executor source with {!Pool}, grow the
+    crew (or start the single-core fallback driver thread when no worker
+    domains are available), and start the watchdog.
+    Raises [Invalid_argument] on a nonsensical [config]. *)
+
+(** {1 Clients} *)
+
+type client
+
+val attach : t -> write:(string -> unit) -> client
+(** Register a reply channel.  [write] delivers one reply line (without
+    the trailing newline), may be called from worker domains and the
+    watchdog, and is serialised by the service; if it raises, the client
+    is marked dead and later replies are counted as dropped instead of
+    retried. *)
+
+val detach : t -> client -> unit
+(** The client went away: no further writes, and every queued, delayed or
+    running job it owns is flagged for disconnect-cancellation.  In-flight
+    jobs stop at their next cancellation poll and are answered (into the
+    void, counted as dropped) with [ERR class=disconnect] — the
+    exactly-once accounting is preserved even for the departed. *)
+
+(** {1 Jobs} *)
+
+val submit : t -> client -> spec:Jobspec.t -> source:string -> unit
+(** Admit one job.  Replies immediately with [ERR class=draining] after
+    {!drain} began, [ERR class=overload] when the queue is full, or
+    [ERR class=badreq] for an oversized source; otherwise the job is
+    accepted and will be answered exactly once, asynchronously. *)
+
+val serve :
+  t ->
+  read_line:(unit -> string option) ->
+  read_exact:(int -> string option) ->
+  write:(string -> unit) ->
+  unit
+(** Serve one client connection over abstract line IO ([None] = EOF /
+    short read): parse requests ([PING] / [STATS] / [QUIT] / [JOB]
+    headers + source bodies), {!submit} jobs, and reply.  Malformed input
+    gets [ERR class=badreq] and, whenever the declared [src-bytes]
+    permits, the stream is resynchronised rather than dropped.  Returns
+    when the client sends [QUIT] or the stream ends.  [QUIT] is the clean
+    goodbye: the client's pending jobs are answered before the connection
+    detaches, so one-shot sessions ([echo ... | skild --stdio]) get their
+    replies; a bare EOF is treated as a vanished peer and its jobs are
+    disconnect-cancelled.  Safe to call from many threads with one [t]. *)
+
+(** {1 Lifecycle} *)
+
+val drain : t -> unit
+(** Graceful drain: stop admitting (new submissions get
+    [ERR class=draining]), flush pending backoff delays, and block until
+    every accepted job has been answered.  Idempotent. *)
+
+val shutdown : t -> unit
+(** {!drain}, then stop the watchdog and fallback driver and unregister
+    the executor source.  The process-wide {!Pool} crew is left running
+    for other users. *)
+
+(** {1 Observability} *)
+
+type stats = {
+  accepted : int;
+  ok : int;
+  err : int;
+  shed : int;  (** overload replies at the door *)
+  rejected : int;  (** draining/badreq replies at the door *)
+  retried : int;  (** backoff requeues *)
+  reaped : int;  (** deadline cancellations flagged *)
+  dropped : int;  (** replies undeliverable: client dead *)
+  cache_hits : int;
+  cache_misses : int;
+  queued_now : int;
+  running_now : int;
+  delayed_now : int;
+}
+
+val stats : t -> stats
+
+val stats_line : t -> string
+(** The [STATS ...] reply line. *)

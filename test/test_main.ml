@@ -8,4 +8,4 @@ let () =
    @ Test_skil_programs.suite @ Test_engines.suite @ Test_specialize.suite
    @ Test_optimize.suite @ Test_pdes.suite
    @ Test_harness.suite @ Test_pool.suite
-   @ Test_properties.suite @ Test_native.suite)
+   @ Test_properties.suite @ Test_native.suite @ Test_service.suite)
